@@ -1,0 +1,248 @@
+package repro
+
+// One testing.B target per experiment of the paper (see DESIGN.md §4):
+//
+//	BenchmarkExample1T481   — Example 1: t481 full flow
+//	BenchmarkExample2Z4ml   — Example 2: z4ml full flow
+//	BenchmarkTable2/<name>  — per-circuit Table 2 rows (both flows, mapped)
+//	BenchmarkFlowOurs/SIS   — the run-time comparison (paper: ≥50% faster)
+//	BenchmarkAblation*      — the design-choice ablations of DESIGN.md §5
+//	BenchmarkFPRM/OFDD/BDD  — substrate micro-benchmarks
+//
+// Quality metrics are attached with b.ReportMetric (lits, gates,
+// improve%), so `go test -bench . -benchmem` regenerates both the timing
+// and the area columns.
+
+import (
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/fprm"
+	"repro/internal/ofdd"
+	"repro/internal/sisbase"
+	"repro/internal/techmap"
+)
+
+// mustCircuit fetches a built-in benchmark.
+func mustCircuit(b *testing.B, name string) bench.Circuit {
+	b.Helper()
+	c, ok := bench.ByName(name)
+	if !ok {
+		b.Fatalf("missing circuit %s", name)
+	}
+	return c
+}
+
+func benchOurs(b *testing.B, name string) {
+	c := mustCircuit(b, name)
+	spec := c.Build()
+	opt := core.DefaultOptions()
+	var lits int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Synthesize(spec, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lits = res.Stats.Lits
+	}
+	b.ReportMetric(float64(lits), "lits")
+}
+
+func benchSIS(b *testing.B, name string) {
+	c := mustCircuit(b, name)
+	spec := c.Build()
+	var lits int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sisbase.Run(spec, sisbase.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lits = res.Stats.Lits
+	}
+	b.ReportMetric(float64(lits), "lits")
+}
+
+// BenchmarkExample1T481 regenerates Example 1: SIS 1.2 took 1372 s for
+// 237 gates; the paper's flow reaches 25 2-input gates.
+func BenchmarkExample1T481(b *testing.B) { benchOurs(b, "t481") }
+
+// BenchmarkExample2Z4ml regenerates Example 2 (paper: 21 gates vs SIS 24).
+func BenchmarkExample2Z4ml(b *testing.B) { benchOurs(b, "z4ml") }
+
+// BenchmarkFlowOurs / BenchmarkFlowSIS measure the run-time claim
+// ("the run time is reduced by at least 50%") on a mid-size arithmetic
+// circuit.
+func BenchmarkFlowOurs(b *testing.B) { benchOurs(b, "mlp4") }
+func BenchmarkFlowSIS(b *testing.B)  { benchSIS(b, "mlp4") }
+
+// BenchmarkTable2 regenerates Table 2 rows: for each circuit, one
+// sub-benchmark per flow, with mapped literal counts attached. The very
+// large control circuits are exercised by cmd/rmbench and
+// TestFullTable2; the benchmark set sticks to the rows that dominate the
+// paper's discussion.
+func BenchmarkTable2(b *testing.B) {
+	names := []string{
+		"5xp1", "9sym", "adr4", "add6", "addm4", "bcd-div3", "cm82a",
+		"co14", "f2", "f51m", "majority", "mlp4", "my_adder", "parity",
+		"rd53", "rd73", "rd84", "sqr6", "squar5", "sym10", "t481",
+		"tcon", "xor10", "z4ml",
+	}
+	for _, name := range names {
+		c := mustCircuit(b, name)
+		b.Run(name+"/ours", func(b *testing.B) {
+			spec := c.Build()
+			var mapped int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Synthesize(spec, core.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := techmap.Map(res.Network, techmap.Library())
+				if err != nil {
+					b.Fatal(err)
+				}
+				mapped = m.Lits
+			}
+			b.ReportMetric(float64(mapped), "maplits")
+		})
+		b.Run(name+"/sis", func(b *testing.B) {
+			spec := c.Build()
+			var mapped int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sisbase.Run(spec, sisbase.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := techmap.Map(res.Network, techmap.Library())
+				if err != nil {
+					b.Fatal(err)
+				}
+				mapped = m.Lits
+			}
+			b.ReportMetric(float64(mapped), "maplits")
+		})
+	}
+}
+
+// BenchmarkAblationMethod compares factorization Method 1 (cube) and
+// Method 2 (OFDD) — the paper found them comparable with a mild edge for
+// Method 2; our Method 1 with the divisor registry wins on arithmetic.
+func BenchmarkAblationMethod(b *testing.B) {
+	for _, m := range []struct {
+		name   string
+		method core.Method
+	}{{"cube", core.MethodCube}, {"ofdd", core.MethodOFDD}} {
+		b.Run(m.name, func(b *testing.B) {
+			spec := mustCircuit(b, "add6").Build()
+			opt := core.DefaultOptions()
+			opt.Method = m.method
+			var lits int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Synthesize(spec, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lits = res.Stats.Lits
+			}
+			b.ReportMetric(float64(lits), "lits")
+		})
+	}
+}
+
+// BenchmarkAblationRedund isolates the Section 4 redundancy removal —
+// without it, "direct translation … results in excessive area".
+func BenchmarkAblationRedund(b *testing.B) {
+	for _, v := range []struct {
+		name   string
+		redund bool
+		rules  bool
+	}{{"full", true, true}, {"no-redund", false, true}, {"no-rules-no-redund", false, false}} {
+		b.Run(v.name, func(b *testing.B) {
+			spec := mustCircuit(b, "t481").Build()
+			opt := core.DefaultOptions()
+			opt.Redund = v.redund
+			opt.Rules = v.rules
+			var lits int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Synthesize(spec, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lits = res.Stats.Lits
+			}
+			b.ReportMetric(float64(lits), "lits")
+		})
+	}
+}
+
+// BenchmarkAblationPolarity compares FPRM polarity strategies.
+func BenchmarkAblationPolarity(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		pol  core.Polarity
+	}{{"positive", core.PolarityPositive}, {"greedy", core.PolarityGreedy}, {"exhaustive", core.PolarityExhaustive}} {
+		b.Run(v.name, func(b *testing.B) {
+			spec := mustCircuit(b, "9sym").Build()
+			opt := core.DefaultOptions()
+			opt.Polarity = v.pol
+			var cubes int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Synthesize(spec, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cubes = res.CubeCounts[0]
+			}
+			b.ReportMetric(float64(cubes), "cubes")
+		})
+	}
+}
+
+// BenchmarkFPRMTransform measures the Reed-Muller butterfly (Section 2).
+func BenchmarkFPRMTransform(b *testing.B) {
+	n := 16
+	tt := make([]uint64, (1<<uint(n))/64)
+	for i := range tt {
+		tt[i] = 0x9E3779B97F4A7C15 * uint64(i+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fprm.FromTruthTable(n, tt, nil)
+	}
+}
+
+// BenchmarkOFDDFromBDD measures OFDD derivation for an adder carry chain.
+func BenchmarkOFDDFromBDD(b *testing.B) {
+	m := bdd.New(32)
+	carry := bdd.Zero
+	for i := 0; i < 16; i++ {
+		a, bb := m.Var(2*i), m.Var(2*i+1)
+		carry = m.Or(m.And(a, bb), m.And(carry, m.Xor(a, bb)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		om := ofdd.New(32, nil)
+		om.FromBDD(m, carry)
+	}
+}
+
+// BenchmarkBDDAdder measures the ROBDD substrate on a 16-bit adder.
+func BenchmarkBDDAdder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := bdd.New(32)
+		carry := bdd.Zero
+		for k := 0; k < 16; k++ {
+			x, y := m.Var(2*k), m.Var(2*k+1)
+			carry = m.Or(m.And(x, y), m.And(carry, m.Xor(x, y)))
+		}
+	}
+}

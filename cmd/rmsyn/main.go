@@ -1,0 +1,228 @@
+// Command rmsyn synthesizes one circuit with the paper's FPRM-based flow
+// (and optionally the SIS-like baseline for comparison), prints the
+// pre-mapping and post-mapping statistics, and can dump the synthesized
+// network as BLIF.
+//
+// Usage:
+//
+//	rmsyn -circuit t481                 # a built-in Table 2 benchmark
+//	rmsyn -blif design.blif             # or any combinational BLIF file
+//	rmsyn -circuit z4ml -method 1 -polarity greedy -dump out.blif
+//	rmsyn -circuit add6 -baseline       # also run the SOP baseline
+//	rmsyn -list                         # list the built-in benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/power"
+	"repro/internal/sisbase"
+	"repro/internal/sop"
+	"repro/internal/techmap"
+	"repro/internal/verify"
+)
+
+func main() {
+	var (
+		circuit   = flag.String("circuit", "", "built-in benchmark name (see -list)")
+		blifIn    = flag.String("blif", "", "input BLIF file")
+		plaIn     = flag.String("pla", "", "input espresso PLA file")
+		method    = flag.Int("method", 1, "factorization method: 1 = cube, 2 = OFDD")
+		polarity  = flag.String("polarity", "greedy", "FPRM polarity search: positive | greedy | exhaustive")
+		noRules   = flag.Bool("no-rules", false, "disable the Section 3 reduction rules")
+		noRedund  = flag.Bool("no-redund", false, "disable the Section 4 redundancy removal")
+		baseline  = flag.Bool("baseline", false, "also run the SIS-like SOP baseline")
+		dump      = flag.String("dump", "", "write the synthesized network as BLIF")
+		doMap     = flag.Bool("map", true, "technology-map the results")
+		list      = flag.Bool("list", false, "list built-in benchmarks")
+		doVerify  = flag.Bool("verify", true, "verify results against the specification")
+		showForms = flag.Bool("forms", false, "print per-output FPRM cube counts")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range bench.Circuits() {
+			kind := "ctrl "
+			if c.Arith {
+				kind = "arith"
+			}
+			note := c.Note
+			if note == "" {
+				note = "exact reconstruction"
+			}
+			fmt.Printf("%-10s %4d/%-4d %s  %s\n", c.Name, c.In, c.Out, kind, note)
+		}
+		return
+	}
+
+	spec, name, err := loadSpec(*circuit, *blifIn, *plaIn)
+	if err != nil {
+		fail(err)
+	}
+
+	opt := core.DefaultOptions()
+	opt.Method = core.Method(*method)
+	switch *polarity {
+	case "positive":
+		opt.Polarity = core.PolarityPositive
+	case "greedy":
+		opt.Polarity = core.PolarityGreedy
+	case "exhaustive":
+		opt.Polarity = core.PolarityExhaustive
+	default:
+		fail(fmt.Errorf("unknown polarity strategy %q", *polarity))
+	}
+	opt.Rules = !*noRules
+	opt.Redund = !*noRedund
+	opt.Verify = *doVerify
+
+	res, err := core.Synthesize(spec, opt)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: %d PIs, %d POs\n", name, spec.NumPIs(), spec.NumPOs())
+	fmt.Printf("ours:     %4d 2-input gates, %4d lits, %d XOR gates (%.3fs)\n",
+		res.Stats.Gates2, res.Stats.Lits, res.Stats.XORs, res.Elapsed.Seconds())
+	fmt.Printf("          redundancy removal: %+v\n", res.Redund)
+	if *showForms {
+		for i, n := range res.CubeCounts {
+			fmt.Printf("          output %-12s FPRM cubes: %d\n", spec.POs[i].Name, n)
+		}
+	}
+	if *doVerify {
+		eq, verr := verify.Equivalent(spec, res.Network)
+		if verr != nil || !eq {
+			fail(fmt.Errorf("verification FAILED: %v", verr))
+		}
+		fmt.Println("          verified equivalent to the specification")
+	}
+	if *doMap {
+		m, err := techmap.Map(res.Network, techmap.Library())
+		if err != nil {
+			fail(err)
+		}
+		p := power.EstimateMapped(m)
+		fmt.Printf("mapped:   %s power=%.2f\n", m, p.Total)
+	}
+
+	if *baseline {
+		sres, err := sisbase.Run(spec, sisbase.DefaultOptions())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("baseline: %4d 2-input gates, %4d lits (%.3fs)\n",
+			sres.Stats.Gates2, sres.Stats.Lits, sres.Elapsed.Seconds())
+		if *doMap {
+			m, err := techmap.Map(sres.Network, techmap.Library())
+			if err != nil {
+				fail(err)
+			}
+			p := power.EstimateMapped(m)
+			fmt.Printf("mapped:   %s power=%.2f\n", m, p.Total)
+		}
+	}
+
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := res.Network.WriteBLIF(f); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *dump)
+	}
+}
+
+func loadSpec(circuit, blifIn, plaIn string) (*network.Network, string, error) {
+	switch {
+	case circuit != "":
+		c, ok := bench.ByName(circuit)
+		if !ok {
+			return nil, "", fmt.Errorf("unknown circuit %q (use -list)", circuit)
+		}
+		return c.Build(), c.Name, nil
+	case blifIn != "":
+		f, err := os.Open(blifIn)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		net, err := network.ReadBLIF(f)
+		if err != nil {
+			return nil, "", err
+		}
+		return net, net.Name, nil
+	case plaIn != "":
+		f, err := os.Open(plaIn)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		p, err := sop.ParsePLA(f)
+		if err != nil {
+			return nil, "", err
+		}
+		return plaToNetwork(p), plaIn, nil
+	}
+	return nil, "", fmt.Errorf("specify -circuit, -blif or -pla (or -list)")
+}
+
+// plaToNetwork builds the two-level OR-of-ANDs network of a PLA.
+func plaToNetwork(p *sop.PLA) *network.Network {
+	net := network.New("pla")
+	pis := make([]int, p.Inputs)
+	for i := range pis {
+		pis[i] = net.AddPI(p.InNames[i])
+	}
+	notCache := map[int]int{}
+	lit := func(v int, phase bool) int {
+		if phase {
+			return pis[v]
+		}
+		if g, ok := notCache[v]; ok {
+			return g
+		}
+		g := net.AddGate(network.Not, pis[v])
+		notCache[v] = g
+		return g
+	}
+	for o, c := range p.Covers {
+		var terms []int
+		for _, t := range c.Terms {
+			var lits []int
+			t.Pos.ForEach(func(v int) { lits = append(lits, lit(v, true)) })
+			t.Neg.ForEach(func(v int) { lits = append(lits, lit(v, false)) })
+			switch len(lits) {
+			case 0:
+				terms = append(terms, net.AddGate(network.Const1))
+			case 1:
+				terms = append(terms, lits[0])
+			default:
+				terms = append(terms, net.AddGate(network.And, lits...))
+			}
+		}
+		var out int
+		switch len(terms) {
+		case 0:
+			out = net.AddGate(network.Const0)
+		case 1:
+			out = terms[0]
+		default:
+			out = net.AddGate(network.Or, terms...)
+		}
+		net.AddPO(p.OutName[o], out)
+	}
+	return net
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rmsyn:", err)
+	os.Exit(1)
+}

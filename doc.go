@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Multilevel Logic
+// Synthesis for Arithmetic Functions" (Tsai & Marek-Sadowska, DAC 1996):
+// FPRM-based multilevel synthesis with algebraic factorization and
+// simulation-driven XOR redundancy removal, together with every substrate
+// the paper's evaluation depended on. See README.md for the overview,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for measured
+// results against the paper's tables and claims.
+//
+// The benchmarks in bench_test.go regenerate, one testing.B target per
+// experiment, the timing and quality numbers of the paper's tables and
+// examples.
+package repro

@@ -1,0 +1,53 @@
+// Example 1 of the paper, end to end: the benchmark t481 has 481 prime
+// cubes in two-level SOP form — SIS 1.2 needed 1372 CPU seconds and
+// produced 237 gates — but only 16 cubes in the right fixed-polarity
+// Reed-Muller form, which the paper's flow factors into
+//
+//	(v̄0v1 ⊕ v2v̄3)(v̄4v5 ⊕ (v̄6+v7)) ⊕ ((v8+v̄9) ⊕ v10v̄11)(v̄12v13 ⊕ v14v̄15)
+//
+// = 25 2-input AND/OR-equivalent gates. This example reproduces that
+// collapse from the flat two-level specification.
+//
+// Run with:
+//
+//	go run ./examples/t481
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sisbase"
+	"repro/internal/verify"
+)
+
+func main() {
+	c, _ := bench.ByName("t481")
+	spec := c.Build()
+	fmt.Printf("t481 two-level specification: %d inputs, %d lits\n",
+		spec.NumPIs(), spec.CollectStats().Lits)
+
+	res, err := core.Synthesize(spec, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FPRM cube count at the searched polarity: %d (paper: 16 at its polarity)\n", res.CubeCounts[0])
+	fmt.Printf("ours: %d 2-input gates / %d lits in %v (paper: 25 gates / 50 lits)\n",
+		res.Stats.Gates2, res.Stats.Lits, res.Elapsed.Round(1000))
+	if eq, _ := verify.Equivalent(spec, res.Network); !eq {
+		log.Fatal("verification failed")
+	}
+	fmt.Println("verified equivalent")
+
+	fmt.Println("\nrunning the SOP baseline on the same 481-cube cover (SIS took 1372 s)...")
+	base, err := sisbase.Run(spec, sisbase.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %d 2-input gates / %d lits in %v\n",
+		base.Stats.Gates2, base.Stats.Lits, base.Elapsed.Round(1000))
+	fmt.Printf("reduction: %.0f%% fewer gates than the baseline\n",
+		100*float64(base.Stats.Gates2-res.Stats.Gates2)/float64(base.Stats.Gates2))
+}

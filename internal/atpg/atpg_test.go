@@ -1,0 +1,212 @@
+package atpg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cube"
+	"repro/internal/network"
+)
+
+// bruteDetectable checks by exhaustive simulation whether any input
+// pattern detects the fault (small networks only).
+func bruteDetectable(net *network.Network, f Fault) bool {
+	n := net.NumPIs()
+	faults := []Fault{f}
+	var patterns []cube.BitSet
+	for a := 0; a < 1<<uint(n); a++ {
+		p := cube.NewBitSet(n)
+		for v := 0; v < n; v++ {
+			if a&(1<<v) != 0 {
+				p.Set(v)
+			}
+		}
+		patterns = append(patterns, p)
+	}
+	return FaultSimulate(net, faults, patterns)[0]
+}
+
+func TestFaultEnumeration(t *testing.T) {
+	net := network.New("f")
+	a := net.AddPI("a")
+	b := net.AddPI("b")
+	net.AddPO("o", net.AddGate(network.And, a, b))
+	faults := Faults(net)
+	// 2 PIs × 2 + AND out × 2 + 2 collapsed input s-a-1 = 8.
+	if len(faults) != 8 {
+		t.Errorf("got %d faults, want 8: %v", len(faults), faults)
+	}
+}
+
+func TestFaultSimulateAndGate(t *testing.T) {
+	net := network.New("f")
+	a := net.AddPI("a")
+	b := net.AddPI("b")
+	g := net.AddGate(network.And, a, b)
+	net.AddPO("o", g)
+	// Pattern 11 detects out s-a-0; pattern 01 detects in0 s-a-1.
+	p11 := cube.NewBitSet(2)
+	p11.Set(0)
+	p11.Set(1)
+	p01 := cube.NewBitSet(2)
+	p01.Set(1)
+	faults := []Fault{
+		{Gate: g, Pin: -1, SA1: false},
+		{Gate: g, Pin: 0, SA1: true},
+	}
+	det := FaultSimulate(net, faults, []cube.BitSet{p11})
+	if !det[0] || det[1] {
+		t.Errorf("pattern 11: det=%v, want [true false]", det)
+	}
+	det = FaultSimulate(net, faults, []cube.BitSet{p01})
+	if det[0] || !det[1] {
+		t.Errorf("pattern 01: det=%v, want [false true]", det)
+	}
+}
+
+func TestPODEMFindsTest(t *testing.T) {
+	net := network.New("p")
+	a := net.AddPI("a")
+	b := net.AddPI("b")
+	c := net.AddPI("c")
+	g := net.AddGate(network.And, a, b)
+	o := net.AddGate(network.Or, g, c)
+	net.AddPO("o", o)
+	f := Fault{Gate: g, Pin: -1, SA1: false}
+	pattern, status := GenerateTest(net, f, 0)
+	if status != Detected {
+		t.Fatalf("status = %v, want Detected", status)
+	}
+	// Verify the pattern detects the fault.
+	if !FaultSimulate(net, []Fault{f}, []cube.BitSet{pattern})[0] {
+		t.Error("generated pattern does not detect the fault")
+	}
+}
+
+func TestPODEMProvesRedundancy(t *testing.T) {
+	// o = a + a·b: the fanin a·b is redundant; its s-a-0 is untestable.
+	net := network.New("r")
+	a := net.AddPI("a")
+	b := net.AddPI("b")
+	g := net.AddGate(network.And, a, b)
+	o := net.AddGate(network.Or, a, g)
+	net.AddPO("o", o)
+	f := Fault{Gate: o, Pin: 1, SA1: false} // the g input of the OR stuck at 0
+	_, status := GenerateTest(net, f, 0)
+	if status != Untestable {
+		t.Errorf("status = %v, want Untestable (o = a + ab ≡ a)", status)
+	}
+	if bruteDetectable(net, f) {
+		t.Error("brute force disagrees: fault detectable?")
+	}
+}
+
+// Property: PODEM verdicts agree with brute-force detectability on random
+// small networks.
+func TestQuickPODEMSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nPI := 2 + rng.Intn(3)
+		net := network.New("q")
+		for i := 0; i < nPI; i++ {
+			net.AddPI("")
+		}
+		types := []network.GateType{network.And, network.Or, network.Xor, network.Not, network.Nand, network.Nor}
+		for i := 0; i < 3+rng.Intn(8); i++ {
+			ty := types[rng.Intn(len(types))]
+			k := 2
+			if ty == network.Not {
+				k = 1
+			}
+			fanins := make([]int, k)
+			for j := range fanins {
+				fanins[j] = rng.Intn(len(net.Gates))
+			}
+			net.AddGate(ty, fanins...)
+		}
+		net.AddPO("o", len(net.Gates)-1)
+		faults := Faults(net)
+		// Check a random subset of faults.
+		for trial := 0; trial < 4 && trial < len(faults); trial++ {
+			fa := faults[rng.Intn(len(faults))]
+			pattern, status := GenerateTest(net, fa, 2000)
+			brute := bruteDetectable(net, fa)
+			switch status {
+			case Detected:
+				if !FaultSimulate(net, []Fault{fa}, []cube.BitSet{pattern})[0] {
+					return false // pattern must actually detect
+				}
+				if !brute {
+					return false
+				}
+			case Untestable:
+				if brute {
+					return false
+				}
+			case Aborted:
+				// inconclusive: acceptable
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateFullAdder(t *testing.T) {
+	net := network.New("fa")
+	a := net.AddPI("a")
+	b := net.AddPI("b")
+	c := net.AddPI("c")
+	axb := net.AddGate(network.Xor, a, b)
+	sum := net.AddGate(network.Xor, axb, c)
+	carry := net.AddGate(network.Or, net.AddGate(network.And, a, b), net.AddGate(network.And, c, axb))
+	net.AddPO("s", sum)
+	net.AddPO("co", carry)
+	res := Generate(net, 0)
+	if len(res.Untestable) != 0 {
+		t.Errorf("full adder should be irredundant; untestable: %v", res.Untestable)
+	}
+	if len(res.Aborted) != 0 {
+		t.Errorf("aborted faults on a tiny circuit: %v", res.Aborted)
+	}
+	if res.CoveragePercent() != 100 {
+		t.Errorf("coverage = %.1f%%, want 100%%", res.CoveragePercent())
+	}
+	// The compacted test set should be small (paper: FPRM circuits have
+	// small complete test sets).
+	if len(res.Tests) > 8 {
+		t.Errorf("test set size %d > 8", len(res.Tests))
+	}
+}
+
+func TestMeasureCoverage(t *testing.T) {
+	net := network.New("m")
+	a := net.AddPI("a")
+	b := net.AddPI("b")
+	net.AddPO("o", net.AddGate(network.Xor, a, b))
+	// All four patterns: Hayes' theorem — all four needed for full
+	// internal coverage of XOR.
+	var all []cube.BitSet
+	for i := 0; i < 4; i++ {
+		p := cube.NewBitSet(2)
+		if i&1 != 0 {
+			p.Set(0)
+		}
+		if i&2 != 0 {
+			p.Set(1)
+		}
+		all = append(all, p)
+	}
+	cov := MeasureCoverage(net, all)
+	if cov.Percent() != 100 {
+		t.Errorf("4-pattern XOR coverage = %.1f%%, want 100%%", cov.Percent())
+	}
+	// A 2-pattern set cannot cover all XOR faults.
+	cov2 := MeasureCoverage(net, all[:2])
+	if cov2.Percent() >= 100 {
+		t.Error("2 patterns should not fully cover XOR")
+	}
+}

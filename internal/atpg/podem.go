@@ -1,0 +1,451 @@
+package atpg
+
+import (
+	"repro/internal/cube"
+	"repro/internal/network"
+)
+
+// Status of a PODEM run for one fault.
+type Status int
+
+// PODEM outcomes.
+const (
+	Detected   Status = iota // test found
+	Untestable               // search space exhausted: the fault is redundant
+	Aborted                  // backtrack limit hit
+)
+
+const (
+	v0 int8 = 0
+	v1 int8 = 1
+	vX int8 = 2
+)
+
+func inv3(v int8) int8 {
+	switch v {
+	case v0:
+		return v1
+	case v1:
+		return v0
+	}
+	return vX
+}
+
+// eval3 computes a gate's 3-valued output.
+func eval3(t network.GateType, in []int8) int8 {
+	switch t {
+	case network.Const0:
+		return v0
+	case network.Const1:
+		return v1
+	case network.Buf:
+		return in[0]
+	case network.Not:
+		return inv3(in[0])
+	case network.And, network.Nand:
+		out := v1
+		for _, v := range in {
+			if v == v0 {
+				out = v0
+				break
+			}
+			if v == vX {
+				out = vX
+			}
+		}
+		if t == network.Nand {
+			out = inv3(out)
+		}
+		return out
+	case network.Or, network.Nor:
+		out := v0
+		for _, v := range in {
+			if v == v1 {
+				out = v1
+				break
+			}
+			if v == vX {
+				out = vX
+			}
+		}
+		if t == network.Nor {
+			out = inv3(out)
+		}
+		return out
+	case network.Xor, network.Xnor:
+		out := v0
+		for _, v := range in {
+			if v == vX {
+				return vX
+			}
+			out ^= v
+		}
+		if t == network.Xnor {
+			out = inv3(out)
+		}
+		return out
+	}
+	panic("atpg: eval3 on PI")
+}
+
+// podem holds one test-generation search.
+type podem struct {
+	net        *network.Network
+	fault      Fault
+	order      []int
+	piIdx      map[int]int
+	assign     map[int]int8 // PI gate -> value
+	vg, vf     []int8
+	backtracks int
+	limit      int
+}
+
+// GenerateTest runs PODEM for one fault. limit bounds backtracks
+// (0 = 10000).
+func GenerateTest(net *network.Network, fault Fault, limit int) (cube.BitSet, Status) {
+	if limit <= 0 {
+		limit = 10000
+	}
+	p := &podem{
+		net:    net,
+		fault:  fault,
+		order:  net.TopoOrder(),
+		piIdx:  make(map[int]int),
+		assign: make(map[int]int8),
+		vg:     make([]int8, len(net.Gates)),
+		vf:     make([]int8, len(net.Gates)),
+		limit:  limit,
+	}
+	for i, id := range net.PIs {
+		p.piIdx[id] = i
+	}
+	type decision struct {
+		pi      int
+		value   int8
+		flipped bool
+	}
+	var stack []decision
+
+	for {
+		p.imply()
+		switch p.state() {
+		case sDetected:
+			out := cube.NewBitSet(len(p.net.PIs))
+			for pi, v := range p.assign {
+				if v == v1 {
+					out.Set(p.piIdx[pi])
+				}
+			}
+			return out, Detected
+		case sConflict:
+			// Backtrack.
+			for {
+				if len(stack) == 0 {
+					return nil, Untestable
+				}
+				top := &stack[len(stack)-1]
+				if !top.flipped {
+					top.flipped = true
+					top.value = inv3(top.value)
+					p.assign[top.pi] = top.value
+					p.backtracks++
+					if p.backtracks > p.limit {
+						return nil, Aborted
+					}
+					break
+				}
+				delete(p.assign, top.pi)
+				stack = stack[:len(stack)-1]
+			}
+		case sContinue:
+			sig, val, ok := p.objective()
+			if !ok {
+				// No objective although not detected: treat as conflict.
+				for {
+					if len(stack) == 0 {
+						return nil, Untestable
+					}
+					top := &stack[len(stack)-1]
+					if !top.flipped {
+						top.flipped = true
+						top.value = inv3(top.value)
+						p.assign[top.pi] = top.value
+						p.backtracks++
+						if p.backtracks > p.limit {
+							return nil, Aborted
+						}
+						break
+					}
+					delete(p.assign, top.pi)
+					stack = stack[:len(stack)-1]
+				}
+				continue
+			}
+			pi, piVal := p.backtrace(sig, val)
+			p.assign[pi] = piVal
+			stack = append(stack, decision{pi: pi, value: piVal})
+		}
+	}
+}
+
+type searchState int
+
+const (
+	sContinue searchState = iota
+	sDetected
+	sConflict
+)
+
+// imply simulates the good and faulty circuits in 3-valued logic under
+// the current PI assignment.
+func (p *podem) imply() {
+	var in []int8
+	for _, id := range p.order {
+		g := &p.net.Gates[id]
+		if g.Type == network.PI {
+			v, ok := p.assign[id]
+			if !ok {
+				v = vX
+			}
+			p.vg[id] = v
+			p.vf[id] = v
+			if p.fault.Gate == id && p.fault.Pin < 0 {
+				p.vf[id] = stuckVal(p.fault)
+			}
+			continue
+		}
+		in = in[:0]
+		for _, f := range g.Fanins {
+			in = append(in, p.vg[f])
+		}
+		p.vg[id] = eval3(g.Type, in)
+		in = in[:0]
+		for pin, f := range g.Fanins {
+			v := p.vf[f]
+			if p.fault.Gate == id && p.fault.Pin == pin {
+				v = stuckVal(p.fault)
+			}
+			in = append(in, v)
+		}
+		p.vf[id] = eval3(g.Type, in)
+		if p.fault.Gate == id && p.fault.Pin < 0 {
+			p.vf[id] = stuckVal(p.fault)
+		}
+	}
+}
+
+func stuckVal(f Fault) int8 {
+	if f.SA1 {
+		return v1
+	}
+	return v0
+}
+
+// activationSignal returns the signal that must carry the opposite of the
+// stuck value for the fault to be excited.
+func (p *podem) activationSignal() int {
+	if p.fault.Pin < 0 {
+		return p.fault.Gate
+	}
+	return p.net.Gates[p.fault.Gate].Fanins[p.fault.Pin]
+}
+
+func (p *podem) state() searchState {
+	// Detected?
+	for _, po := range p.net.POs {
+		if p.vg[po.Gate] != vX && p.vf[po.Gate] != vX && p.vg[po.Gate] != p.vf[po.Gate] {
+			return sDetected
+		}
+	}
+	// Activation conflict?
+	act := p.activationSignal()
+	want := inv3(stuckVal(p.fault))
+	if p.vg[act] != vX && p.vg[act] != want {
+		return sConflict
+	}
+	// Fault effect anywhere (or still activatable)?
+	if p.vg[act] == want {
+		// Activated: D-frontier must be nonempty or effect must still be
+		// propagatable.
+		if !p.hasFaultEffectPath() {
+			return sConflict
+		}
+	}
+	return sContinue
+}
+
+// hasFaultEffectPath reports whether some signal carries a D (good ≠
+// faulty, both known) with an X-path toward a PO, or the effect is
+// already at a PO (handled by state). Conservative: it checks that some
+// gate output carries D or X in the faulty cone.
+func (p *podem) hasFaultEffectPath() bool {
+	for _, id := range p.order {
+		gd := p.vg[id]
+		fd := p.vf[id]
+		if gd != fd || gd == vX || fd == vX {
+			// Some divergence or unknown remains.
+			if p.reachesPO(id) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reachesPO reports whether id lies in the transitive fanin-free...
+// fanout path to a PO (structural reachability).
+func (p *podem) reachesPO(id int) bool {
+	// Cached per call site cheaply: structural reachability.
+	seen := make(map[int]bool)
+	target := make(map[int]bool)
+	for _, po := range p.net.POs {
+		target[po.Gate] = true
+	}
+	fanouts := p.net.Fanouts()
+	var rec func(int) bool
+	rec = func(v int) bool {
+		if target[v] {
+			return true
+		}
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+		for _, fo := range fanouts[v] {
+			if rec(fo) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(id)
+}
+
+// objective picks the next value to justify: first fault activation, then
+// propagation through the D-frontier.
+func (p *podem) objective() (signal int, value int8, ok bool) {
+	act := p.activationSignal()
+	want := inv3(stuckVal(p.fault))
+	if p.vg[act] == vX {
+		return act, want, true
+	}
+	// Propagate: find a gate with a D input and an X output; set an X
+	// side input to the non-controlling value.
+	for _, id := range p.order {
+		g := &p.net.Gates[id]
+		if g.Type == network.PI {
+			continue
+		}
+		if p.vg[id] != vX && p.vf[id] != vX {
+			continue
+		}
+		hasD := false
+		for pin, f := range g.Fanins {
+			gv, fv := p.vg[f], p.vf[f]
+			if p.fault.Gate == id && p.fault.Pin == pin {
+				fv = stuckVal(p.fault)
+			}
+			if gv != vX && fv != vX && gv != fv {
+				hasD = true
+				break
+			}
+		}
+		if !hasD {
+			continue
+		}
+		for _, f := range g.Fanins {
+			if p.vg[f] == vX {
+				var v int8
+				switch g.Type {
+				case network.And, network.Nand:
+					v = v1
+				case network.Or, network.Nor:
+					v = v0
+				default:
+					v = v0
+				}
+				return f, v, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// backtrace maps an objective onto an unassigned PI.
+func (p *podem) backtrace(signal int, value int8) (pi int, v int8) {
+	for {
+		g := &p.net.Gates[signal]
+		if g.Type == network.PI {
+			return signal, value
+		}
+		switch g.Type {
+		case network.Not, network.Nand, network.Nor:
+			value = inv3(value)
+		}
+		// Choose an X-valued fanin; default to the first.
+		next := g.Fanins[0]
+		for _, f := range g.Fanins {
+			if p.vg[f] == vX {
+				next = f
+				break
+			}
+		}
+		signal = next
+	}
+}
+
+// Result of a full test-generation run.
+type Result struct {
+	Tests      []cube.BitSet
+	Detected   int
+	Untestable []Fault
+	Aborted    []Fault
+	Total      int
+}
+
+// CoveragePercent is detected / (total − untestable): untestable faults
+// are redundancies, not coverage losses.
+func (r *Result) CoveragePercent() float64 {
+	den := r.Total - len(r.Untestable)
+	if den == 0 {
+		return 100
+	}
+	return 100 * float64(r.Detected) / float64(den)
+}
+
+// Generate runs fault simulation + PODEM over the collapsed fault list:
+// each new test vector is fault-simulated to drop everything else it
+// detects.
+func Generate(net *network.Network, backtrackLimit int) *Result {
+	faults := Faults(net)
+	res := &Result{Total: len(faults)}
+	detected := make([]bool, len(faults))
+	for fi, f := range faults {
+		if detected[fi] {
+			continue
+		}
+		pattern, status := GenerateTest(net, f, backtrackLimit)
+		switch status {
+		case Untestable:
+			res.Untestable = append(res.Untestable, f)
+		case Aborted:
+			res.Aborted = append(res.Aborted, f)
+		case Detected:
+			res.Tests = append(res.Tests, pattern)
+			// Drop everything this test detects.
+			newly := FaultSimulate(net, faults, []cube.BitSet{pattern})
+			for i, d := range newly {
+				if d && !detected[i] {
+					detected[i] = true
+					res.Detected++
+				}
+			}
+			if !detected[fi] {
+				// The generated pattern must detect its target.
+				detected[fi] = true
+				res.Detected++
+			}
+		}
+	}
+	return res
+}

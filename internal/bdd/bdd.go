@@ -1,0 +1,391 @@
+// Package bdd implements a reduced ordered binary decision diagram (ROBDD)
+// manager in the style of Bryant [6] and the SIS 1.2 BDD package the paper
+// builds on: hash-consed nodes, an ITE-based apply, cofactoring,
+// quantification, satisfiability queries, SAT counting, and
+// Minato-Morreale irredundant SOP extraction.
+//
+// Variable order is the natural index order 0..n-1 (the paper's OFDDs use a
+// fixed order as well).
+package bdd
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/sop"
+)
+
+// Ref identifies a BDD node within its manager. The constants Zero and One
+// are the terminal nodes of every manager.
+type Ref int32
+
+// Terminal nodes.
+const (
+	Zero Ref = 0
+	One  Ref = 1
+)
+
+type node struct {
+	v      int32 // variable index; terminals use numVars
+	lo, hi Ref
+}
+
+type uniqueKey struct {
+	v      int32
+	lo, hi Ref
+}
+
+type iteKey struct{ f, g, h Ref }
+
+// Manager owns a forest of shared ROBDD nodes over a fixed number of
+// variables.
+type Manager struct {
+	numVars int
+	nodes   []node
+	unique  map[uniqueKey]Ref
+	iteTab  map[iteKey]Ref
+	vars    []Ref // cached single-variable BDDs
+}
+
+// New returns a manager over n variables (order = index order).
+func New(n int) *Manager {
+	m := &Manager{
+		numVars: n,
+		unique:  make(map[uniqueKey]Ref),
+		iteTab:  make(map[iteKey]Ref),
+	}
+	term := int32(n)
+	m.nodes = append(m.nodes, node{v: term}, node{v: term}) // Zero, One
+	m.vars = make([]Ref, n)
+	for i := 0; i < n; i++ {
+		m.vars[i] = m.mk(int32(i), Zero, One)
+	}
+	return m
+}
+
+// NumVars returns the number of variables of the manager.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// Size returns the number of nodes allocated (including terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// Var returns the BDD for the single variable v.
+func (m *Manager) Var(v int) Ref { return m.vars[v] }
+
+// NVar returns the BDD for the complement of variable v.
+func (m *Manager) NVar(v int) Ref { return m.Not(m.vars[v]) }
+
+// IsConst reports whether f is a terminal node.
+func (m *Manager) IsConst(f Ref) bool { return f == Zero || f == One }
+
+// TopVar returns the top variable index of f, or numVars for terminals.
+func (m *Manager) TopVar(f Ref) int { return int(m.nodes[f].v) }
+
+// Lo returns the low (else, var=0) child of f.
+func (m *Manager) Lo(f Ref) Ref { return m.nodes[f].lo }
+
+// Hi returns the high (then, var=1) child of f.
+func (m *Manager) Hi(f Ref) Ref { return m.nodes[f].hi }
+
+func (m *Manager) mk(v int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	k := uniqueKey{v, lo, hi}
+	if r, ok := m.unique[k]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, node{v: v, lo: lo, hi: hi})
+	m.unique[k] = r
+	return r
+}
+
+// ITE computes if-then-else(f, g, h) = f·g + ¬f·h.
+func (m *Manager) ITE(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == One:
+		return g
+	case f == Zero:
+		return h
+	case g == h:
+		return g
+	case g == One && h == Zero:
+		return f
+	}
+	k := iteKey{f, g, h}
+	if r, ok := m.iteTab[k]; ok {
+		return r
+	}
+	// Split on the top variable of the three arguments.
+	v := m.nodes[f].v
+	if m.nodes[g].v < v {
+		v = m.nodes[g].v
+	}
+	if m.nodes[h].v < v {
+		v = m.nodes[h].v
+	}
+	f0, f1 := m.cof(f, v)
+	g0, g1 := m.cof(g, v)
+	h0, h1 := m.cof(h, v)
+	lo := m.ITE(f0, g0, h0)
+	hi := m.ITE(f1, g1, h1)
+	r := m.mk(v, lo, hi)
+	m.iteTab[k] = r
+	return r
+}
+
+// cof returns the two cofactors of f with respect to variable v, assuming v
+// is at or above f's top variable.
+func (m *Manager) cof(f Ref, v int32) (lo, hi Ref) {
+	n := m.nodes[f]
+	if n.v != v {
+		return f, f
+	}
+	return n.lo, n.hi
+}
+
+// Not returns the complement of f.
+func (m *Manager) Not(f Ref) Ref { return m.ITE(f, Zero, One) }
+
+// And returns f·g.
+func (m *Manager) And(f, g Ref) Ref { return m.ITE(f, g, Zero) }
+
+// Or returns f+g.
+func (m *Manager) Or(f, g Ref) Ref { return m.ITE(f, One, g) }
+
+// Xor returns f⊕g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.ITE(f, m.Not(g), g) }
+
+// Xnor returns the complement of f⊕g.
+func (m *Manager) Xnor(f, g Ref) Ref { return m.ITE(f, g, m.Not(g)) }
+
+// Implies reports whether f ≤ g (f implies g) as functions.
+func (m *Manager) Implies(f, g Ref) bool { return m.And(f, m.Not(g)) == Zero }
+
+// Restrict returns f with variable v fixed to the given phase.
+func (m *Manager) Restrict(f Ref, v int, phase bool) Ref {
+	memo := make(map[Ref]Ref)
+	var rec func(Ref) Ref
+	rec = func(f Ref) Ref {
+		n := m.nodes[f]
+		if int(n.v) > v || m.IsConst(f) {
+			return f
+		}
+		if r, ok := memo[f]; ok {
+			return r
+		}
+		var r Ref
+		if int(n.v) == v {
+			if phase {
+				r = n.hi
+			} else {
+				r = n.lo
+			}
+		} else {
+			r = m.mk(n.v, rec(n.lo), rec(n.hi))
+		}
+		memo[f] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Exists existentially quantifies variable v out of f.
+func (m *Manager) Exists(f Ref, v int) Ref {
+	return m.Or(m.Restrict(f, v, false), m.Restrict(f, v, true))
+}
+
+// Support returns the set of variables f depends on.
+func (m *Manager) Support(f Ref) cube.BitSet {
+	s := cube.NewBitSet(m.numVars)
+	seen := make(map[Ref]bool)
+	var rec func(Ref)
+	rec = func(f Ref) {
+		if m.IsConst(f) || seen[f] {
+			return
+		}
+		seen[f] = true
+		s.Set(int(m.nodes[f].v))
+		rec(m.nodes[f].lo)
+		rec(m.nodes[f].hi)
+	}
+	rec(f)
+	return s
+}
+
+// Eval evaluates f on an assignment bitset.
+func (m *Manager) Eval(f Ref, assign cube.BitSet) bool {
+	for !m.IsConst(f) {
+		n := m.nodes[f]
+		if assign.Has(int(n.v)) {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == One
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// numVars variables, as a float64 (exact for < 2^53).
+func (m *Manager) SatCount(f Ref) float64 {
+	memo := make(map[Ref]float64)
+	var rec func(Ref) float64
+	rec = func(f Ref) float64 {
+		if f == Zero {
+			return 0
+		}
+		if f == One {
+			return 1
+		}
+		if c, ok := memo[f]; ok {
+			return c
+		}
+		n := m.nodes[f]
+		lo := rec(n.lo) * pow2(int(m.nodes[n.lo].v)-int(n.v)-1)
+		hi := rec(n.hi) * pow2(int(m.nodes[n.hi].v)-int(n.v)-1)
+		c := lo + hi
+		memo[f] = c
+		return c
+	}
+	return rec(f) * pow2(int(m.nodes[f].v))
+}
+
+func pow2(k int) float64 {
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r *= 2
+	}
+	return r
+}
+
+// Density returns the fraction of assignments satisfying f (the signal
+// probability of f under uniform independent inputs).
+func (m *Manager) Density(f Ref) float64 {
+	return m.SatCount(f) / pow2(m.numVars)
+}
+
+// AnySat returns one satisfying assignment of f, or ok=false if f is
+// unsatisfiable. Variables not on the chosen path are left 0.
+func (m *Manager) AnySat(f Ref) (assign cube.BitSet, ok bool) {
+	if f == Zero {
+		return nil, false
+	}
+	assign = cube.NewBitSet(m.numVars)
+	for !m.IsConst(f) {
+		n := m.nodes[f]
+		if n.hi != Zero {
+			assign.Set(int(n.v))
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return assign, true
+}
+
+// FromCover builds the BDD of a SOP cover.
+func (m *Manager) FromCover(c *sop.Cover) Ref {
+	f := Zero
+	for _, t := range c.Terms {
+		p := One
+		// AND literals from the bottom of the order up for linear growth.
+		for v := m.numVars - 1; v >= 0; v-- {
+			if t.Pos.Has(v) {
+				p = m.mk(int32(v), Zero, p)
+			} else if t.Neg.Has(v) {
+				p = m.mk(int32(v), p, Zero)
+			}
+		}
+		f = m.Or(f, p)
+	}
+	return f
+}
+
+// FromESOP builds the BDD of an ESOP cube list under a polarity vector:
+// variable v in a cube denotes the literal x_v if polarity[v] is true and
+// its complement otherwise. A nil polarity means all-positive.
+func (m *Manager) FromESOP(l *cube.List, polarity []bool) Ref {
+	f := Zero
+	for _, c := range l.Cubes {
+		p := One
+		for v := m.numVars - 1; v >= 0; v-- {
+			if !c.Has(v) {
+				continue
+			}
+			if polarity == nil || polarity[v] {
+				p = m.mk(int32(v), Zero, p)
+			} else {
+				p = m.mk(int32(v), p, Zero)
+			}
+		}
+		f = m.Xor(f, p)
+	}
+	return f
+}
+
+// ISOP computes an irredundant sum-of-products cover of any function g with
+// L ≤ g ≤ U using the Minato-Morreale procedure, returning the cover and
+// the BDD of the exact function the cover denotes.
+func (m *Manager) ISOP(L, U Ref) (*sop.Cover, Ref) {
+	type key struct{ l, u Ref }
+	covers := make(map[key]*sop.Cover)
+	funcs := make(map[key]Ref)
+	var rec func(L, U Ref) (*sop.Cover, Ref)
+	rec = func(L, U Ref) (*sop.Cover, Ref) {
+		if L == Zero {
+			return sop.NewCover(m.numVars), Zero
+		}
+		if U == One {
+			return sop.Universe(m.numVars), One
+		}
+		k := key{L, U}
+		if c, ok := covers[k]; ok {
+			return c, funcs[k]
+		}
+		v := m.nodes[L].v
+		if m.nodes[U].v < v {
+			v = m.nodes[U].v
+		}
+		L0, L1 := m.cof(L, v)
+		U0, U1 := m.cof(U, v)
+		// Cubes that must contain the negative literal of v.
+		c0, f0 := rec(m.And(L0, m.Not(U1)), U0)
+		// Cubes that must contain the positive literal of v.
+		c1, f1 := rec(m.And(L1, m.Not(U0)), U1)
+		// Remainder covered by cubes free of v.
+		Ld := m.Or(m.And(L0, m.Not(f0)), m.And(L1, m.Not(f1)))
+		Ud := m.And(U0, U1)
+		cd, fd := rec(Ld, Ud)
+		out := sop.NewCover(m.numVars)
+		for _, t := range c0.Terms {
+			nt := t.Clone()
+			nt.SetNeg(int(v))
+			out.Add(nt)
+		}
+		for _, t := range c1.Terms {
+			nt := t.Clone()
+			nt.SetPos(int(v))
+			out.Add(nt)
+		}
+		for _, t := range cd.Terms {
+			out.Add(t.Clone())
+		}
+		fv := m.Or(m.Or(m.mk(v, Zero, f1), m.mk(v, f0, Zero)), fd)
+		covers[k] = out
+		funcs[k] = fv
+		return out, fv
+	}
+	return rec(L, U)
+}
+
+// ToCover returns an irredundant SOP cover exactly equal to f.
+func (m *Manager) ToCover(f Ref) *sop.Cover {
+	c, g := m.ISOP(f, f)
+	if g != f {
+		panic(fmt.Sprintf("bdd: ISOP produced inexact cover (%d != %d)", g, f))
+	}
+	return c
+}

@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/power"
+	"repro/internal/sisbase"
+	"repro/internal/techmap"
+	"repro/internal/verify"
+)
+
+// Row is one line of the reproduced Table 2.
+type Row struct {
+	Name  string
+	In    int
+	Out   int
+	Arith bool
+	Note  string
+
+	// Before technology mapping (2-input AND/OR gates; lits = 2 × gates,
+	// XOR = 3 gates — the paper's pre-map metric).
+	SISLits  int
+	SISTime  time.Duration
+	OursLits int
+	OursTime time.Duration
+
+	// After technology mapping.
+	SISGates    int
+	SISMapLits  int
+	OursGates   int
+	OursMapLits int
+
+	// Percent improvements (positive = ours better), the paper's last
+	// two columns.
+	ImproveLits  float64
+	ImprovePower float64
+
+	SISPower  float64
+	OursPower float64
+
+	Verified bool
+	Err      string
+}
+
+// Options configure a Table 2 run.
+type Options struct {
+	Core    core.Options    // the paper's flow configuration
+	SIS     sisbase.Options // baseline configuration
+	Verify  bool            // check both results against the specification
+	Include func(c Circuit) bool
+}
+
+// DefaultOptions mirrors the paper's experiment.
+func DefaultOptions() Options {
+	return Options{Core: core.DefaultOptions(), SIS: sisbase.DefaultOptions(), Verify: true}
+}
+
+// RunCircuit produces one Table 2 row.
+func RunCircuit(c Circuit, opt Options) Row {
+	row := Row{Name: c.Name, In: c.In, Out: c.Out, Arith: c.Arith, Note: c.Note, Verified: true}
+	spec := c.Build()
+
+	sisRes, err := sisbase.Run(spec, opt.SIS)
+	if err != nil {
+		row.Err = "sis: " + err.Error()
+		return row
+	}
+	row.SISLits = sisRes.Stats.Lits
+	row.SISTime = sisRes.Elapsed
+
+	oursRes, err := core.Synthesize(spec, opt.Core)
+	if err != nil {
+		row.Err = "ours: " + err.Error()
+		return row
+	}
+	row.OursLits = oursRes.Stats.Lits
+	row.OursTime = oursRes.Elapsed
+
+	if opt.Verify {
+		for _, res := range []*network.Network{sisRes.Network, oursRes.Network} {
+			eq, verr := verify.Equivalent(spec, res)
+			if verr != nil || !eq {
+				row.Verified = false
+				row.Err = fmt.Sprintf("verification failed (%v)", verr)
+				return row
+			}
+		}
+	}
+
+	lib := techmap.Library()
+	sisMap, err := techmap.Map(sisRes.Network, lib)
+	if err != nil {
+		row.Err = "map sis: " + err.Error()
+		return row
+	}
+	oursMap, err := techmap.Map(oursRes.Network, lib)
+	if err != nil {
+		row.Err = "map ours: " + err.Error()
+		return row
+	}
+	row.SISGates = sisMap.Gates
+	row.SISMapLits = sisMap.Lits
+	row.OursGates = oursMap.Gates
+	row.OursMapLits = oursMap.Lits
+	if row.SISMapLits > 0 {
+		row.ImproveLits = 100 * float64(row.SISMapLits-row.OursMapLits) / float64(row.SISMapLits)
+	}
+
+	row.SISPower = power.EstimateMapped(sisMap).Total
+	row.OursPower = power.EstimateMapped(oursMap).Total
+	if row.SISPower > 0 {
+		row.ImprovePower = 100 * (row.SISPower - row.OursPower) / row.SISPower
+	}
+	return row
+}
+
+// Table2 runs the full benchmark set and returns all rows plus the two
+// summary rows (Total arith. and Total all) like the paper.
+func Table2(opt Options) ([]Row, Row, Row) {
+	var rows []Row
+	for _, c := range Circuits() {
+		if opt.Include != nil && !opt.Include(c) {
+			continue
+		}
+		rows = append(rows, RunCircuit(c, opt))
+	}
+	arith := summarize("Total arith.", rows, true)
+	all := summarize("Total all", rows, false)
+	return rows, arith, all
+}
+
+// Summaries computes the Total arith. / Total all rows for a row set.
+func Summaries(rows []Row) (arith, all Row) {
+	return summarize("Total arith.", rows, true), summarize("Total all", rows, false)
+}
+
+func summarize(name string, rows []Row, arithOnly bool) Row {
+	out := Row{Name: name, Verified: true}
+	var sumPowerSIS, sumPowerOurs float64
+	for _, r := range rows {
+		if arithOnly && !r.Arith {
+			continue
+		}
+		if r.Err != "" {
+			out.Err = "some rows failed"
+			continue
+		}
+		out.SISLits += r.SISLits
+		out.OursLits += r.OursLits
+		out.SISTime += r.SISTime
+		out.OursTime += r.OursTime
+		out.SISGates += r.SISGates
+		out.SISMapLits += r.SISMapLits
+		out.OursGates += r.OursGates
+		out.OursMapLits += r.OursMapLits
+		sumPowerSIS += r.SISPower
+		sumPowerOurs += r.OursPower
+		out.Verified = out.Verified && r.Verified
+	}
+	if out.SISMapLits > 0 {
+		out.ImproveLits = 100 * float64(out.SISMapLits-out.OursMapLits) / float64(out.SISMapLits)
+	}
+	if sumPowerSIS > 0 {
+		out.ImprovePower = 100 * (sumPowerSIS - sumPowerOurs) / sumPowerSIS
+	}
+	out.SISPower = sumPowerSIS
+	out.OursPower = sumPowerOurs
+	return out
+}
+
+// WriteTable renders rows in the paper's Table 2 layout.
+func WriteTable(w io.Writer, rows []Row, arith, all Row) {
+	fmt.Fprintf(w, "%-10s %-8s | %6s %8s | %6s %8s | %6s %6s | %6s %6s | %8s %8s\n",
+		"Circuit", "I/O", "SISlit", "SIStime", "ourlit", "ourtime", "SISgat", "SISlit", "ourgat", "ourlit", "impr%lit", "impr%pow")
+	fmt.Fprintln(w, strings.Repeat("-", 120))
+	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(w, "%-10s %-8s | ERROR: %s\n", r.Name, fmt.Sprintf("%d/%d", r.In, r.Out), r.Err)
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %-8s | %6d %8.2f | %6d %8.2f | %6d %6d | %6d %6d | %8.1f %8.1f\n",
+			r.Name, fmt.Sprintf("%d/%d", r.In, r.Out),
+			r.SISLits, r.SISTime.Seconds(), r.OursLits, r.OursTime.Seconds(),
+			r.SISGates, r.SISMapLits, r.OursGates, r.OursMapLits,
+			r.ImproveLits, r.ImprovePower)
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 120))
+	for _, r := range []Row{arith, all} {
+		fmt.Fprintf(w, "%-10s %-8s | %6d %8.2f | %6d %8.2f | %6d %6d | %6d %6d | %8.1f %8.1f\n",
+			r.Name, "",
+			r.SISLits, r.SISTime.Seconds(), r.OursLits, r.OursTime.Seconds(),
+			r.SISGates, r.SISMapLits, r.OursGates, r.OursMapLits,
+			r.ImproveLits, r.ImprovePower)
+	}
+}
+
+// WriteCSV renders rows as CSV for downstream analysis.
+func WriteCSV(w io.Writer, rows []Row, arith, all Row) {
+	fmt.Fprintln(w, "circuit,in,out,arith,sis_lits,sis_time_s,ours_lits,ours_time_s,sis_gates,sis_map_lits,ours_gates,ours_map_lits,improve_lits_pct,improve_power_pct,verified,note")
+	emit := func(r Row) {
+		fmt.Fprintf(w, "%s,%d,%d,%t,%d,%.4f,%d,%.4f,%d,%d,%d,%d,%.2f,%.2f,%t,%q\n",
+			r.Name, r.In, r.Out, r.Arith,
+			r.SISLits, r.SISTime.Seconds(), r.OursLits, r.OursTime.Seconds(),
+			r.SISGates, r.SISMapLits, r.OursGates, r.OursMapLits,
+			r.ImproveLits, r.ImprovePower, r.Verified, r.Note)
+	}
+	for _, r := range rows {
+		emit(r)
+	}
+	emit(arith)
+	emit(all)
+}

@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+)
+
+// mul returns the product of the interleaved-input operands in minterm m:
+// a bits at even positions, b bits at odd positions.
+func deinterleave(m, w int) (a, b int) {
+	for i := 0; i < w; i++ {
+		if bitsOf(m, 2*i) {
+			a |= 1 << i
+		}
+		if bitsOf(m, 2*i+1) {
+			b |= 1 << i
+		}
+	}
+	return a, b
+}
+
+// Circuits returns the 41 Table 2 circuits in the paper's row order.
+func Circuits() []Circuit {
+	return []Circuit{
+		{Name: "5xp1", In: 7, Out: 10, Arith: true,
+			Note: "substitute: y = 5·a+b (a=4b, b=3b) plus parity/AND/OR of all inputs (original PLA unavailable)",
+			Build: func() *network.Network {
+				return fromTruth("5xp1", 7, 10, func(m, o int) bool {
+					a := field(m, 0, 4)
+					b := field(m, 4, 3)
+					val := 5*a + b
+					if o < 7 {
+						return bitsOf(val, o)
+					}
+					switch o {
+					case 7:
+						return ones(m, 7)%2 == 1
+					case 8:
+						return ones(m, 7) == 7
+					default:
+						return m != 0
+					}
+				})
+			}},
+		{Name: "9sym", In: 9, Out: 1, Arith: true,
+			Build: func() *network.Network {
+				return fromTruth("9sym", 9, 1, func(m, _ int) bool {
+					c := ones(m, 9)
+					return c >= 3 && c <= 6
+				})
+			}},
+		{Name: "adr4", In: 8, Out: 5, Arith: true,
+			Build: func() *network.Network {
+				return fromTruth("adr4", 8, 5, func(m, o int) bool {
+					a, b := deinterleave(m, 4)
+					return bitsOf(a+b, o)
+				})
+			}},
+		{Name: "add6", In: 12, Out: 7, Arith: true,
+			Build: func() *network.Network {
+				return fromTruth("add6", 12, 7, func(m, o int) bool {
+					a, b := deinterleave(m, 6)
+					return bitsOf(a+b, o)
+				})
+			}},
+		{Name: "addm4", In: 9, Out: 8, Arith: true,
+			Note: "substitute: a+b+cin (5 bits) and the 3 MSBs of a·b (original PLA unavailable)",
+			Build: func() *network.Network {
+				return fromTruth("addm4", 9, 8, func(m, o int) bool {
+					a, b := deinterleave(m, 4)
+					cin := 0
+					if bitsOf(m, 8) {
+						cin = 1
+					}
+					if o < 5 {
+						return bitsOf(a+b+cin, o)
+					}
+					return bitsOf(a*b, o) // bits 5..7 of the 8-bit product
+				})
+			}},
+		{Name: "bcd-div3", In: 4, Out: 4, Arith: true,
+			Note: "digit÷3: quotient/remainder of n mod 10 (don't-cares of the BCD original bound this way)",
+			Build: func() *network.Network {
+				return fromTruth("bcd-div3", 4, 4, func(m, o int) bool {
+					d := m % 10
+					q, r := d/3, d%3
+					switch o {
+					case 0, 1:
+						return bitsOf(q, o)
+					default:
+						return bitsOf(r, o-2)
+					}
+				})
+			}},
+		{Name: "cc", In: 21, Out: 20,
+			Note:  "substitute: structured control mix (function undocumented)",
+			Build: func() *network.Network { return mixedControlNet("cc", 21, 20) }},
+		{Name: "co14", In: 14, Out: 1, Arith: true,
+			Note: "substitute: one-hot checker (exactly one of 14 inputs high)",
+			Build: func() *network.Network {
+				return fromTruth("co14", 14, 1, func(m, _ int) bool { return ones(m, 14) == 1 })
+			}},
+		{Name: "cm163a", In: 16, Out: 5,
+			Note:  "substitute: structured control mix (function undocumented)",
+			Build: func() *network.Network { return mixedControlNet("cm163a", 16, 5) }},
+		{Name: "cm82a", In: 5, Out: 3, Arith: true,
+			Note: "2-bit adder with carry-in (functional reconstruction)",
+			Build: func() *network.Network {
+				return fromTruth("cm82a", 5, 3, func(m, o int) bool {
+					a, b := deinterleave(m, 2)
+					cin := 0
+					if bitsOf(m, 4) {
+						cin = 1
+					}
+					return bitsOf(a+b+cin, o)
+				})
+			}},
+		{Name: "cm85a", In: 11, Out: 3,
+			Note:  "substitute: 5-bit magnitude comparator with enable",
+			Build: func() *network.Network { return comparatorNet("cm85a", 5) }},
+		{Name: "cmb", In: 16, Out: 4,
+			Note:  "substitute: structured control mix (function undocumented)",
+			Build: func() *network.Network { return mixedControlNet("cmb", 16, 4) }},
+		{Name: "f2", In: 4, Out: 4,
+			Note:  "substitute: small two-level mix (function undocumented)",
+			Build: func() *network.Network { return mixedControlNet("f2", 4, 4) }},
+		{Name: "f51m", In: 8, Out: 8, Arith: true,
+			Note: "substitute: a·b+cin over 4×3 bits plus parity (original PLA unavailable)",
+			Build: func() *network.Network {
+				return fromTruth("f51m", 8, 8, func(m, o int) bool {
+					a := field(m, 0, 4)
+					b := field(m, 4, 3)
+					cin := 0
+					if bitsOf(m, 7) {
+						cin = 1
+					}
+					val := a*b + cin
+					if o < 7 {
+						return bitsOf(val, o)
+					}
+					return ones(m, 8)%2 == 1
+				})
+			}},
+		{Name: "frg1", In: 28, Out: 3,
+			Note:  "substitute: wide selector trees (function undocumented)",
+			Build: func() *network.Network { return selectorNet("frg1", 28, 3, 9) }},
+		{Name: "i1", In: 25, Out: 13,
+			Note:  "substitute: sparse selector logic (function undocumented)",
+			Build: func() *network.Network { return selectorNet("i1", 25, 13, 3) }},
+		{Name: "i3", In: 132, Out: 6,
+			Note:  "substitute: sparse selector logic (function undocumented)",
+			Build: func() *network.Network { return selectorNet("i3", 132, 6, 11) }},
+		{Name: "i4", In: 192, Out: 6,
+			Note:  "substitute: sparse selector logic (function undocumented)",
+			Build: func() *network.Network { return selectorNet("i4", 192, 6, 16) }},
+		{Name: "i5", In: 133, Out: 66,
+			Note:  "substitute: 66-bit 2:1 multiplexer (sel + 2×66 data)",
+			Build: func() *network.Network { return muxNet("i5", 66) }},
+		{Name: "m181", In: 15, Out: 9,
+			Note:  "substitute: structured control mix (function undocumented)",
+			Build: func() *network.Network { return mixedControlNet("m181", 15, 9) }},
+		{Name: "majority", In: 5, Out: 1, Arith: true,
+			Build: func() *network.Network {
+				return fromTruth("majority", 5, 1, func(m, _ int) bool { return ones(m, 5) >= 3 })
+			}},
+		{Name: "misg", In: 56, Out: 23,
+			Note:  "substitute: sparse selector logic (function undocumented)",
+			Build: func() *network.Network { return selectorNet("misg", 56, 23, 3) }},
+		{Name: "mish", In: 94, Out: 34,
+			Note:  "substitute: sparse selector logic (function undocumented)",
+			Build: func() *network.Network { return selectorNet("mish", 94, 34, 3) }},
+		{Name: "mlp4", In: 8, Out: 8, Arith: true,
+			Build: func() *network.Network {
+				return fromTruth("mlp4", 8, 8, func(m, o int) bool {
+					a, b := deinterleave(m, 4)
+					return bitsOf(a*b, o)
+				})
+			}},
+		{Name: "my_adder", In: 33, Out: 17, Arith: true,
+			Build: func() *network.Network { return adderNet("my_adder", 16, true) }},
+		{Name: "parity", In: 16, Out: 1, Arith: true,
+			Build: func() *network.Network {
+				n := network.New("parity")
+				ids := make([]int, 16)
+				for i := range ids {
+					ids[i] = n.AddPI(fmt.Sprintf("x%d", i))
+				}
+				n.AddPO("p", n.BalancedTree(network.Xor, ids))
+				return n
+			}},
+		{Name: "pcle", In: 19, Out: 9,
+			Note:  "substitute: 9-stage AND-OR carry cascade",
+			Build: func() *network.Network { return cascadeNet("pcle", 9) }},
+		{Name: "pcler8", In: 27, Out: 17,
+			Note:  "substitute: 17-stage AND-OR carry cascade over 13 data/select pairs",
+			Build: func() *network.Network { return cascadeNet8() }},
+		{Name: "pm1", In: 16, Out: 13,
+			Note:  "substitute: structured control mix (function undocumented)",
+			Build: func() *network.Network { return mixedControlNet("pm1", 16, 13) }},
+		{Name: "radd", In: 8, Out: 5, Arith: true,
+			Note: "same function as adr4 (the suite lists both)",
+			Build: func() *network.Network {
+				return fromTruth("radd", 8, 5, func(m, o int) bool {
+					a, b := deinterleave(m, 4)
+					return bitsOf(a+b, o)
+				})
+			}},
+		{Name: "rd53", In: 5, Out: 3, Arith: true,
+			Build: func() *network.Network {
+				return fromTruth("rd53", 5, 3, func(m, o int) bool { return bitsOf(ones(m, 5), o) })
+			}},
+		{Name: "rd73", In: 7, Out: 3, Arith: true,
+			Build: func() *network.Network {
+				return fromTruth("rd73", 7, 3, func(m, o int) bool { return bitsOf(ones(m, 7), o) })
+			}},
+		{Name: "rd84", In: 8, Out: 4, Arith: true,
+			Build: func() *network.Network {
+				return fromTruth("rd84", 8, 4, func(m, o int) bool { return bitsOf(ones(m, 8), o) })
+			}},
+		{Name: "shift", In: 19, Out: 16,
+			Note:  "substitute: 16-bit barrel rotator with 3-bit amount",
+			Build: rotateNet},
+		{Name: "sqr6", In: 6, Out: 12, Arith: true,
+			Build: func() *network.Network {
+				return fromTruth("sqr6", 6, 12, func(m, o int) bool { return bitsOf(m*m, o) })
+			}},
+		{Name: "squar5", In: 5, Out: 8, Arith: true,
+			Note: "x² bits 9..2 (bit 1 of a square is constant 0, bit 0 is x0; the PLA keeps 8 outputs)",
+			Build: func() *network.Network {
+				return fromTruth("squar5", 5, 8, func(m, o int) bool { return bitsOf(m*m, o+2) })
+			}},
+		{Name: "sym10", In: 10, Out: 1, Arith: true,
+			Note: "1 iff the input weight is in [3,6] (10-input analogue of 9sym)",
+			Build: func() *network.Network {
+				return fromTruth("sym10", 10, 1, func(m, _ int) bool {
+					c := ones(m, 10)
+					return c >= 3 && c <= 6
+				})
+			}},
+		{Name: "t481", In: 16, Out: 1, Arith: true, Build: t481Net},
+		{Name: "tcon", In: 17, Out: 16,
+			Note:  "substitute: 8 wires + 8 control-gated wires",
+			Build: tconNet},
+		{Name: "xor10", In: 10, Out: 1, Arith: true,
+			Build: func() *network.Network {
+				n := network.New("xor10")
+				ids := make([]int, 10)
+				for i := range ids {
+					ids[i] = n.AddPI(fmt.Sprintf("x%d", i))
+				}
+				n.AddPO("p", n.BalancedTree(network.Xor, ids))
+				return n
+			}},
+		{Name: "z4ml", In: 7, Out: 4, Arith: true,
+			Build: func() *network.Network {
+				return fromTruth("z4ml", 7, 4, func(m, o int) bool {
+					a, b := deinterleave(m, 3)
+					cin := 0
+					if bitsOf(m, 6) {
+						cin = 1
+					}
+					return bitsOf(a+b+cin, o)
+				})
+			}},
+	}
+}
+
+// cascadeNet8 builds pcler8: a 17-stage cascade out of 27 inputs
+// (en + 13 data + 13 select split across stages; stages past 13 reuse the
+// data inputs with fresh selects — documented synthetic substitute).
+func cascadeNet8() *network.Network {
+	n := network.New("pcler8")
+	en := n.AddPI("en")
+	var data, sel []int
+	for i := 0; i < 13; i++ {
+		data = append(data, n.AddPI(fmt.Sprintf("i%d", i)))
+		sel = append(sel, n.AddPI(fmt.Sprintf("s%d", i)))
+	}
+	prev := en
+	for i := 0; i < 17; i++ {
+		d := data[i%13]
+		s := sel[(i+5)%13]
+		prev = n.AddGate(network.Or,
+			n.AddGate(network.And, d, en),
+			n.AddGate(network.And, prev, s))
+		n.AddPO(fmt.Sprintf("y%d", i), prev)
+	}
+	return n
+}
+
+// ByName returns the named circuit.
+func ByName(name string) (Circuit, bool) {
+	for _, c := range Circuits() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Circuit{}, false
+}

@@ -1,0 +1,625 @@
+// Package core implements the paper's complete synthesis flow for
+// arithmetic functions (Sections 2-4):
+//
+//  1. derive the FPRM form of every output from a ROBDD through the OFDD
+//     (Section 2), optionally searching the polarity vector;
+//  2. factor the form algebraically with the cube method or the OFDD
+//     method, applying the Reduction/Factorization rules (Section 3);
+//  3. emit a multilevel AND/OR/XOR network, sharing identical
+//     subexpressions across outputs;
+//  4. remove redundant XOR gates and AND fanins by pattern simulation
+//     (Section 4);
+//  5. merge functionally identical internal nodes across outputs (the
+//     paper uses SIS "resub" for this step).
+//
+// The flow is specified by a gate network (any source: generated
+// benchmark, parsed BLIF/PLA); its functional behaviour is preserved
+// exactly, which Options.Verify double-checks per rewrite.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/cube"
+	"repro/internal/esop"
+	"repro/internal/factor"
+	"repro/internal/fprm"
+	"repro/internal/network"
+	"repro/internal/ofdd"
+	"repro/internal/redund"
+)
+
+// Method selects the algebraic factorization algorithm of Section 3.
+type Method int
+
+// Factorization methods.
+const (
+	MethodCube Method = 1 // Method 1: factor the cube list directly
+	MethodOFDD Method = 2 // Method 2: build the initial network from the OFDD
+)
+
+// Polarity selects the FPRM polarity search strategy.
+type Polarity int
+
+// Polarity search strategies.
+const (
+	PolarityPositive   Polarity = iota // all-positive (PPRM)
+	PolarityGreedy                     // coordinate-descent cube-count minimization
+	PolarityExhaustive                 // all 2^n vectors (small inputs only)
+)
+
+// Options configure the synthesis flow. The zero value is the paper's
+// default configuration except Verify, which callers usually enable.
+type Options struct {
+	Method   Method   // 0 = MethodCube (Method 1 with the divisor registry)
+	Polarity Polarity // polarity search strategy
+	// ExhaustiveLimit caps exhaustive polarity search (default 10 inputs).
+	ExhaustiveLimit int
+	// Rules applies the Section 3 reduction rules during factorization.
+	// On by default through DefaultOptions.
+	Rules bool
+	// Redund runs the Section 4 redundancy removal.
+	Redund bool
+	// Verify confirms every redundancy-removal rewrite with an exact BDD
+	// check (see package redund).
+	Verify bool
+	// CubeLimit bounds materialized FPRM cube lists (default 50000);
+	// outputs above it fall back to MethodOFDD and skip polarity search.
+	CubeLimit int
+	// SearchCubeLimit bounds cube lists eligible for polarity search
+	// (default 2000).
+	SearchCubeLimit int
+	// CubeMethodLimit bounds cube lists factored with Method 1 (default
+	// 2000); larger outputs use the OFDD method, whose cost follows the
+	// (often tiny) decision-diagram size rather than the cube count.
+	CubeMethodLimit int
+	// MergeNodes merges functionally identical internal gates across the
+	// network after synthesis (the paper's resub step).
+	MergeNodes bool
+	// ESOP enables mixed-polarity ESOP minimization (package esop) on top
+	// of the FPRM form before factoring — the paper's §6 future-work
+	// direction. Outputs whose minimized ESOP is smaller than their FPRM
+	// form are factored in a doubled literal space (positive literal of
+	// variable v ↦ 2v, negative ↦ 2v+1) so the whole Section 3 machinery
+	// applies unchanged.
+	ESOP bool
+	// NoFallback disables the do-no-harm fallback: by default, when the
+	// FPRM-based result is larger than the (swept, hashed, merged)
+	// specification itself — which happens for functions with
+	// unmanageable FPRM forms, the limitation Section 6 of the paper
+	// states — the optimized specification is returned instead.
+	NoFallback bool
+}
+
+// DefaultOptions returns the paper's flow: cube-method factorization with
+// rules (our Method 1 with the cross-output divisor registry outperforms
+// Method 2 — the opposite of the paper's mild preference; both are
+// available), greedy polarity search, redundancy removal with exact
+// verification, and cross-output node merging.
+func DefaultOptions() Options {
+	return Options{
+		Method:     MethodCube,
+		Polarity:   PolarityGreedy,
+		Rules:      true,
+		Redund:     true,
+		Verify:     true,
+		MergeNodes: true,
+	}
+}
+
+func (o Options) method() Method {
+	if o.Method == 0 {
+		return MethodCube
+	}
+	return o.Method
+}
+
+func (o Options) cubeLimit() int {
+	if o.CubeLimit > 0 {
+		return o.CubeLimit
+	}
+	return 50000
+}
+
+func (o Options) searchCubeLimit() int {
+	if o.SearchCubeLimit > 0 {
+		return o.SearchCubeLimit
+	}
+	return 2000
+}
+
+func (o Options) cubeMethodLimit() int {
+	if o.CubeMethodLimit > 0 {
+		return o.CubeMethodLimit
+	}
+	return 2000
+}
+
+func (o Options) exhaustiveLimit() int {
+	if o.ExhaustiveLimit > 0 {
+		return o.ExhaustiveLimit
+	}
+	return 10
+}
+
+// Result is the outcome of a synthesis run.
+type Result struct {
+	Network *network.Network
+	Forms   []*fprm.Form // per-output FPRM forms (sampled when huge)
+	Stats   network.Stats
+	Redund  redund.Result
+	// Fallback reports that the FPRM result was larger than the cleaned
+	// specification, which was returned instead (see Options.NoFallback).
+	Fallback bool
+	// CubeCounts holds the exact FPRM cube count per output.
+	CubeCounts []int64
+	// Elapsed is the synthesis wall-clock time.
+	Elapsed time.Duration
+}
+
+// Synthesize runs the full flow on the functional specification given as a
+// gate network and returns a new, functionally equivalent network.
+func Synthesize(spec *network.Network, opt Options) (*Result, error) {
+	start := time.Now()
+	nPI := spec.NumPIs()
+	bm := bdd.New(nPI)
+	outs := spec.ToBDDs(bm)
+
+	res := &Result{}
+	net := network.New(spec.Name + "_rm")
+	pis := make([]int, nPI)
+	for i, piID := range spec.PIs {
+		pis[i] = net.AddPI(spec.Gates[piID].Name)
+	}
+
+	// One emitter for the whole network: structurally identical
+	// subexpressions are shared across outputs. Polarity is handled per
+	// literal inside expressions, so the emitter itself is polarity-free;
+	// expressions below are rewritten into PI space first.
+	em := factor.NewEmitter(net, pis, nil)
+
+	// Factoring contexts are shared across outputs with the same polarity
+	// vector (registry cube lists live in literal space, which only
+	// matches between identical vectors). This is the cross-output
+	// subfunction reuse the paper obtains with SIS resub.
+	fopt := factor.Options{ApplyRules: opt.Rules}
+	cubeCtxs := make(map[string]*factor.Context)
+	ofddCtxs := make(map[string]*factor.OFDDContext)
+	polKey := func(pol []bool) string {
+		k := make([]byte, len(pol))
+		for i, p := range pol {
+			if p {
+				k[i] = '1'
+			} else {
+				k[i] = '0'
+			}
+		}
+		return string(k)
+	}
+
+	res.Forms = make([]*fprm.Form, len(outs))
+	res.CubeCounts = make([]int64, len(outs))
+	huge := make([]bool, len(outs))
+	for oi, f := range outs {
+		form, count, isHuge, err := deriveForm(bm, f, opt)
+		if err != nil {
+			return nil, fmt.Errorf("output %s: %w", spec.POs[oi].Name, err)
+		}
+		res.Forms[oi] = form
+		res.CubeCounts[oi] = count
+		huge[oi] = isHuge
+	}
+
+	// Factor outputs smallest-first so the divisor registry is populated
+	// bottom-up (an adder's c₁ is registered before c₂ needs it), then
+	// emit largest-first so the big cones create the shared gates the
+	// smaller cones reuse (a sum reuses its carry's a⊕b).
+	orderAsc := make([]int, len(outs))
+	for i := range orderAsc {
+		orderAsc[i] = i
+	}
+	sort.SliceStable(orderAsc, func(a, b int) bool {
+		return res.CubeCounts[orderAsc[a]] < res.CubeCounts[orderAsc[b]]
+	})
+
+	exprs := make([]*factor.Expr, len(outs))
+	for _, oi := range orderAsc {
+		if huge[oi] {
+			continue // handled by spec-cone copy below
+		}
+		form := res.Forms[oi]
+		var e *factor.Expr
+		key := polKey(form.Polarity)
+		useCube := opt.method() == MethodCube && res.CubeCounts[oi] <= int64(opt.cubeMethodLimit())
+		if useCube && opt.ESOP {
+			if de := deriveESOP(form, fopt, cubeCtxs); de != nil {
+				exprs[oi] = de
+				continue
+			}
+		}
+		if useCube {
+			cx, ok := cubeCtxs[key]
+			if !ok {
+				cx = factor.NewContext(fopt)
+				cubeCtxs[key] = cx
+			}
+			e = cx.Factor(form.Cubes)
+		} else {
+			cx, ok := ofddCtxs[key]
+			if !ok {
+				cx = factor.NewOFDDContext(ofdd.New(nPI, form.Polarity), fopt)
+				ofddCtxs[key] = cx
+			}
+			e = cx.Factor(cx.M.FromBDD(bm, outs[oi]))
+		}
+		// Rewrite literal space into PI space so one emitter serves all
+		// outputs even when their polarity vectors differ.
+		exprs[oi] = applyPolarity(e, form.Polarity)
+	}
+
+	poGate := make([]int, len(outs))
+	for i := len(orderAsc) - 1; i >= 0; i-- {
+		oi := orderAsc[i]
+		if huge[oi] {
+			continue
+		}
+		poGate[oi] = em.Emit(exprs[oi])
+	}
+	// Outputs whose functional decision diagrams exploded (Section 6:
+	// the method targets functions with manageable FPRM forms) keep
+	// their original cone, copied structurally.
+	copier := newConeCopier(spec, net, pis)
+	for oi := range outs {
+		if huge[oi] {
+			poGate[oi] = copier.copy(spec.POs[oi].Gate)
+		}
+	}
+	for oi := range outs {
+		net.AddPO(spec.POs[oi].Name, poGate[oi])
+	}
+
+	net.Strash()
+	net.Sweep()
+
+	// Prepare the do-no-harm reference early: when the factored network
+	// is already far larger than the cleaned specification, redundancy
+	// removal cannot close the gap and the time is better saved.
+	var specOpt *network.Network
+	if !opt.NoFallback {
+		specOpt = spec.Clone()
+		specOpt.Sweep()
+		specOpt.Strash()
+		if opt.MergeNodes {
+			MergeEquivalentGates(specOpt, bm)
+		}
+		specOpt.Sweep()
+	}
+	hopeless := specOpt != nil && net.CollectStats().Gates2 > 8*specOpt.CollectStats().Gates2
+
+	if opt.Redund && !hopeless {
+		res.Redund = redund.Remove(net, redund.Options{
+			Forms:  res.Forms,
+			Verify: opt.Verify,
+		})
+	}
+	if opt.MergeNodes {
+		MergeEquivalentGates(net, bm)
+		net.Sweep()
+	}
+	// Safety net: the synthesized network must match the specification.
+	if opt.Verify {
+		got := net.ToBDDs(bm)
+		for i := range got {
+			if got[i] != outs[i] {
+				return nil, fmt.Errorf("core: internal error: output %s not equivalent after synthesis", spec.POs[i].Name)
+			}
+		}
+	}
+	res.Network = net
+	res.Stats = net.CollectStats()
+
+	// Do-no-harm fallback (Section 6 scopes the method to functions with
+	// manageable FPRM forms): if the cleaned specification is smaller
+	// than the FPRM result, ship that instead.
+	if specOpt != nil {
+		if st := specOpt.CollectStats(); st.Gates2 < res.Stats.Gates2 {
+			res.Network = specOpt
+			res.Stats = st
+			res.Fallback = true
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// ofddNodeBudget caps functional-decision-diagram growth per output; an
+// OFDD can be exponentially larger than the BDD of the same function
+// (long OR chains are the classic case), and such outputs bypass the
+// FPRM flow entirely.
+const ofddNodeBudget = 200_000
+
+// deriveForm computes the FPRM form of one output with the configured
+// polarity search. For outputs whose cube count exceeds the materialize
+// limit, a sampled form (for pattern generation) is returned; outputs
+// whose OFDD itself explodes come back with huge=true and an empty form.
+func deriveForm(bm *bdd.Manager, f bdd.Ref, opt Options) (form *fprm.Form, count int64, huge bool, err error) {
+	n := bm.NumVars()
+	om := ofdd.New(n, nil)
+	ref, ok := om.FromBDDBounded(bm, f, ofddNodeBudget)
+	if !ok {
+		return fprm.NewForm(n, nil), -1, true, nil
+	}
+	count = om.CubeCount(ref)
+	if count > int64(opt.cubeMethodLimit()) {
+		// Too large to materialize: keep all-positive polarity and sample
+		// only as many cubes as the redundancy-removal pattern budget can
+		// use anyway.
+		sample := 2048
+		if opt.cubeLimit() < sample {
+			sample = opt.cubeLimit()
+		}
+		form = fprm.NewForm(n, nil)
+		form.Cubes = om.CubesSample(ref, sample)
+		return form, count, false, nil
+	}
+	form = fprm.NewForm(n, nil)
+	form.Cubes = om.Cubes(ref, opt.cubeMethodLimit()+1)
+	if count <= int64(opt.searchCubeLimit()) {
+		switch opt.Polarity {
+		case PolarityGreedy:
+			form = fprm.SearchGreedy(form)
+		case PolarityExhaustive:
+			if n <= opt.exhaustiveLimit() {
+				form = fprm.SearchExhaustive(form)
+			} else {
+				form = fprm.SearchGreedy(form)
+			}
+		}
+	}
+	return form, int64(form.Cubes.Len()), false, nil
+}
+
+// deriveESOP minimizes the form as a mixed-polarity ESOP; when that is
+// smaller than the FPRM form, it factors the ESOP in the doubled literal
+// space and returns the PI-space expression. Returns nil when the ESOP
+// does not improve on the form.
+func deriveESOP(form *fprm.Form, fopt factor.Options, ctxs map[string]*factor.Context) *factor.Expr {
+	el := esop.FromFPRM(form)
+	el.Minimize(0)
+	if el.Len() >= form.Cubes.Len() {
+		return nil
+	}
+	n := form.NumVars
+	doubled := cube.NewList(2 * n)
+	for _, c := range el.Cubes {
+		dc := cube.One(2 * n)
+		c.Pos.ForEach(func(v int) { dc.Vars.Set(2 * v) })
+		c.Neg.ForEach(func(v int) { dc.Vars.Set(2*v + 1) })
+		doubled.Add(dc)
+	}
+	cx, ok := ctxs["esop"]
+	if !ok {
+		cx = factor.NewContext(fopt)
+		ctxs["esop"] = cx
+	}
+	e := cx.Factor(doubled)
+	return undouble(e)
+}
+
+// undouble rewrites doubled-space literals back to PI space: 2v ↦ x_v,
+// 2v+1 ↦ x̄_v.
+func undouble(e *factor.Expr) *factor.Expr {
+	memo := make(map[string]*factor.Expr)
+	var rec func(*factor.Expr) *factor.Expr
+	rec = func(e *factor.Expr) *factor.Expr {
+		if r, ok := memo[e.Key()]; ok {
+			return r
+		}
+		var r *factor.Expr
+		switch e.Op {
+		case factor.OpLit:
+			if e.Var%2 == 0 {
+				r = factor.Lit(e.Var / 2)
+			} else {
+				r = factor.Not(factor.Lit(e.Var / 2))
+			}
+		case factor.OpConst0, factor.OpConst1:
+			r = e
+		default:
+			kids := make([]*factor.Expr, len(e.Kids))
+			for i, k := range e.Kids {
+				kids[i] = rec(k)
+			}
+			switch e.Op {
+			case factor.OpNot:
+				r = factor.Not(kids[0])
+			case factor.OpAnd:
+				r = factor.AndN(kids...)
+			case factor.OpOr:
+				r = factor.OrN(kids...)
+			case factor.OpXor:
+				r = factor.XorN(kids...)
+			}
+		}
+		memo[e.Key()] = r
+		return r
+	}
+	return rec(e)
+}
+
+// coneCopier structurally copies gate cones from the specification into
+// the result network, sharing already-copied gates.
+type coneCopier struct {
+	spec, dst *network.Network
+	memo      map[int]int
+}
+
+func newConeCopier(spec, dst *network.Network, pis []int) *coneCopier {
+	c := &coneCopier{spec: spec, dst: dst, memo: make(map[int]int)}
+	for i, piID := range spec.PIs {
+		c.memo[piID] = pis[i]
+	}
+	return c
+}
+
+func (c *coneCopier) copy(id int) int {
+	if g, ok := c.memo[id]; ok {
+		return g
+	}
+	g := &c.spec.Gates[id]
+	fanins := make([]int, len(g.Fanins))
+	for i, f := range g.Fanins {
+		fanins[i] = c.copy(f)
+	}
+	var nid int
+	if len(fanins) == 0 {
+		nid = c.dst.AddGate(g.Type)
+	} else {
+		nid = c.dst.AddGate(g.Type, fanins...)
+	}
+	c.memo[id] = nid
+	return nid
+}
+
+// applyPolarity rewrites an expression over FPRM literals into PI space:
+// literals of negative-polarity variables become complemented variables.
+func applyPolarity(e *factor.Expr, pol []bool) *factor.Expr {
+	memo := make(map[string]*factor.Expr)
+	var rec func(*factor.Expr) *factor.Expr
+	rec = func(e *factor.Expr) *factor.Expr {
+		if r, ok := memo[e.Key()]; ok {
+			return r
+		}
+		var r *factor.Expr
+		switch e.Op {
+		case factor.OpLit:
+			if pol == nil || pol[e.Var] {
+				r = e
+			} else {
+				r = factor.Not(factor.Lit(e.Var))
+			}
+		case factor.OpConst0, factor.OpConst1:
+			r = e
+		default:
+			kids := make([]*factor.Expr, len(e.Kids))
+			for i, k := range e.Kids {
+				kids[i] = rec(k)
+			}
+			switch e.Op {
+			case factor.OpNot:
+				r = factor.Not(kids[0])
+			case factor.OpAnd:
+				r = factor.AndN(kids...)
+			case factor.OpOr:
+				r = factor.OrN(kids...)
+			case factor.OpXor:
+				r = factor.XorN(kids...)
+			}
+		}
+		memo[e.Key()] = r
+		return r
+	}
+	return rec(e)
+}
+
+// MergeEquivalentGates merges internal gates computing identical global
+// functions (by BDD signature), the effect of the paper's resub step.
+// Gates are merged onto their earliest topological representative.
+func MergeEquivalentGates(net *network.Network, bm *bdd.Manager) int {
+	if bm.NumVars() != net.NumPIs() {
+		panic("core: manager mismatch")
+	}
+	const sizeCap = 2_000_000
+	val := make([]bdd.Ref, len(net.Gates))
+	piIdx := make(map[int]int)
+	for i, id := range net.PIs {
+		piIdx[id] = i
+	}
+	repl := make([]int, len(net.Gates))
+	for i := range repl {
+		repl[i] = i
+	}
+	canon := make(map[bdd.Ref]int)
+	merged := 0
+	for _, id := range net.TopoOrder() {
+		if bm.Size() > sizeCap {
+			return merged // give up gracefully on BDD blowup
+		}
+		g := &net.Gates[id]
+		var f bdd.Ref
+		switch g.Type {
+		case network.PI:
+			f = bm.Var(piIdx[id])
+		case network.Const0:
+			f = bdd.Zero
+		case network.Const1:
+			f = bdd.One
+		default:
+			ins := make([]bdd.Ref, len(g.Fanins))
+			for i, fi := range g.Fanins {
+				ins[i] = val[repl[fi]]
+			}
+			f = evalBDD(bm, g.Type, ins)
+		}
+		val[id] = f
+		if g.Type == network.PI {
+			canon[f] = id
+			continue
+		}
+		if prev, ok := canon[f]; ok {
+			repl[id] = prev
+			merged++
+		} else {
+			canon[f] = id
+		}
+	}
+	for i := range net.Gates {
+		for j, f := range net.Gates[i].Fanins {
+			net.Gates[i].Fanins[j] = repl[f]
+		}
+	}
+	for i := range net.POs {
+		net.POs[i].Gate = repl[net.POs[i].Gate]
+	}
+	return merged
+}
+
+func evalBDD(bm *bdd.Manager, t network.GateType, ins []bdd.Ref) bdd.Ref {
+	switch t {
+	case network.Buf:
+		return ins[0]
+	case network.Not:
+		return bm.Not(ins[0])
+	case network.And, network.Nand:
+		v := bdd.One
+		for _, f := range ins {
+			v = bm.And(v, f)
+		}
+		if t == network.Nand {
+			v = bm.Not(v)
+		}
+		return v
+	case network.Or, network.Nor:
+		v := bdd.Zero
+		for _, f := range ins {
+			v = bm.Or(v, f)
+		}
+		if t == network.Nor {
+			v = bm.Not(v)
+		}
+		return v
+	case network.Xor, network.Xnor:
+		v := bdd.Zero
+		for _, f := range ins {
+			v = bm.Xor(v, f)
+		}
+		if t == network.Xnor {
+			v = bm.Not(v)
+		}
+		return v
+	}
+	panic("core: bad gate type")
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/network"
+)
+
+// buildSym returns the n-input symmetric [3,6] weight function (9sym/sym10).
+func buildSym(n int) *network.Network {
+	net := network.New("sym")
+	var pis []int
+	for i := 0; i < n; i++ {
+		pis = append(pis, net.AddPI(""))
+	}
+	// Build as a population-count comparison network (functional spec).
+	// Sum bits via adder tree of 1-bit values.
+	count := make([][]int, 0)
+	for _, p := range pis {
+		count = append(count, []int{p})
+	}
+	add := func(a, b []int) []int {
+		var sum []int
+		carry := -1
+		for i := 0; i < len(a) || i < len(b); i++ {
+			var x, y int = -1, -1
+			if i < len(a) {
+				x = a[i]
+			}
+			if i < len(b) {
+				y = b[i]
+			}
+			switch {
+			case x < 0:
+				x = y
+				y = -1
+			}
+			if y < 0 && carry < 0 {
+				sum = append(sum, x)
+				continue
+			}
+			if y < 0 {
+				y = carry
+				carry = -1
+			}
+			s := net.AddGate(network.Xor, x, y)
+			c := net.AddGate(network.And, x, y)
+			if carry >= 0 {
+				s2 := net.AddGate(network.Xor, s, carry)
+				c = net.AddGate(network.Or, c, net.AddGate(network.And, carry, s))
+				s = s2
+			}
+			sum = append(sum, s)
+			carry = c
+		}
+		if carry >= 0 {
+			sum = append(sum, carry)
+		}
+		return sum
+	}
+	for len(count) > 1 {
+		var next [][]int
+		for i := 0; i+1 < len(count); i += 2 {
+			next = append(next, add(count[i], count[i+1]))
+		}
+		if len(count)%2 == 1 {
+			next = append(next, count[len(count)-1])
+		}
+		count = next
+	}
+	bits := count[0]
+	// weight in [3,6]: ge3 AND le6.
+	// For n=9/10: bits has 4 entries (max 9/10). w>=3: w3..: (b1&b0... easier: decode.
+	// ge3 = b3 | b2 | (b1 & b0)  ... w>=3 over 4 bits: w3 or w2 or (w1 and w0).
+	b := bits
+	for len(b) < 4 {
+		z := net.AddGate(network.Const0)
+		b = append(b, z)
+	}
+	ge3 := net.AddGate(network.Or, b[3], b[2], net.AddGate(network.And, b[1], b[0]))
+	// le6 = !(w>=7) = !(b3 | (b2&b1&b0) ... w>=7: b3 or (b2 and b1 and b0).
+	ge7 := net.AddGate(network.Or, b[3], net.AddGate(network.And, b[2], b[1], b[0]))
+	net.AddPO("f", net.AddGate(network.And, ge3, net.AddGate(network.Not, ge7)))
+	return net
+}
+
+func TestESOPOptionOn9sym(t *testing.T) {
+	spec := buildSym(9)
+	base := DefaultOptions()
+	base.NoFallback = true
+	resOff, err := Synthesize(spec, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := base
+	on.ESOP = true
+	resOn, err := Synthesize(spec, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, spec, resOn.Network)
+	// Measured negative result (recorded in EXPERIMENTS.md): the ESOP has
+	// far fewer cubes (94 vs 182) but factoring it in the doubled literal
+	// space hides the x/x̄ relationship from algebraic division, so the
+	// literal count comes out worse. The option remains correct and
+	// opt-in; proper mixed-polarity factoring (Sasao's rule set, which
+	// the paper's §6 names) is the missing piece.
+	t.Logf("9sym: FPRM flow %d lits, ESOP flow %d lits", resOff.Stats.Lits, resOn.Stats.Lits)
+}
+
+func TestESOPOptionPreservesAdder(t *testing.T) {
+	spec := specAdder(4, true)
+	opt := DefaultOptions()
+	opt.ESOP = true
+	res, err := Synthesize(spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, spec, res.Network)
+}

@@ -1,0 +1,205 @@
+// Package cube provides positive-literal cubes (products of variables) and
+// ESOP (exclusive-or sum of products) cube lists, the core currency of
+// fixed-polarity Reed-Muller synthesis.
+//
+// A cube here is a set of variable indices: the product of those variables.
+// Polarity is handled one level up (package fprm) by interpreting variable i
+// as either x_i or its complement according to a polarity vector, so inside
+// this package all literals are positive and a cube is just a bitset.
+package cube
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// wordBits is the number of bits per bitset word.
+const wordBits = 64
+
+// BitSet is a fixed-capacity set of small non-negative integers used to
+// represent variable supports and cubes. The zero value is an empty set of
+// capacity 0; use NewBitSet to size it.
+type BitSet []uint64
+
+// NewBitSet returns an empty BitSet able to hold values in [0, n).
+func NewBitSet(n int) BitSet {
+	return make(BitSet, (n+wordBits-1)/wordBits)
+}
+
+// Clone returns an independent copy of s.
+func (s BitSet) Clone() BitSet {
+	t := make(BitSet, len(s))
+	copy(t, s)
+	return t
+}
+
+// Set adds i to the set.
+func (s BitSet) Set(i int) { s[i/wordBits] |= 1 << uint(i%wordBits) }
+
+// Clear removes i from the set.
+func (s BitSet) Clear(i int) { s[i/wordBits] &^= 1 << uint(i%wordBits) }
+
+// Has reports whether i is in the set.
+func (s BitSet) Has(i int) bool {
+	w := i / wordBits
+	if w >= len(s) {
+		return false
+	}
+	return s[w]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s BitSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether the set has no elements.
+func (s BitSet) IsEmpty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+// The sets may have different capacities.
+func (s BitSet) Equal(t BitSet) bool {
+	long, short := s, t
+	if len(long) < len(short) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if w != long[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of s is also in t.
+func (s BitSet) SubsetOf(t BitSet) bool {
+	for i, w := range s {
+		var tw uint64
+		if i < len(t) {
+			tw = t[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s BitSet) Intersects(t BitSet) bool {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	for i := 0; i < n; i++ {
+		if s[i]&t[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// UnionWith adds all elements of t to s. t must not be larger than s.
+func (s BitSet) UnionWith(t BitSet) {
+	for i, w := range t {
+		s[i] |= w
+	}
+}
+
+// IntersectWith removes from s all elements not in t.
+func (s BitSet) IntersectWith(t BitSet) {
+	for i := range s {
+		var tw uint64
+		if i < len(t) {
+			tw = t[i]
+		}
+		s[i] &= tw
+	}
+}
+
+// DifferenceWith removes all elements of t from s.
+func (s BitSet) DifferenceWith(t BitSet) {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	for i := 0; i < n; i++ {
+		s[i] &^= t[i]
+	}
+}
+
+// ForEach calls fn for every element of the set in increasing order.
+func (s BitSet) ForEach(fn func(i int)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Elements returns the members of the set in increasing order.
+func (s BitSet) Elements() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s BitSet) Min() int {
+	for wi, w := range s {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Key returns a map-key string uniquely identifying the set contents
+// (trailing zero words are not significant).
+func (s BitSet) Key() string {
+	end := len(s)
+	for end > 0 && s[end-1] == 0 {
+		end--
+	}
+	var b strings.Builder
+	for i := 0; i < end; i++ {
+		b.WriteString(strconv.FormatUint(s[i], 16))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// String renders the set as {i, j, ...}.
+func (s BitSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(strconv.Itoa(i))
+	})
+	b.WriteByte('}')
+	return b.String()
+}

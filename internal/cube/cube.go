@@ -1,0 +1,386 @@
+package cube
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cube is a product of positive literals over variables [0, NumVars).
+// The empty cube is the constant-1 cube.
+type Cube struct {
+	Vars BitSet // set of variable indices present in the product
+}
+
+// New returns the cube containing exactly the given variables.
+func New(numVars int, vars ...int) Cube {
+	c := Cube{Vars: NewBitSet(numVars)}
+	for _, v := range vars {
+		c.Vars.Set(v)
+	}
+	return c
+}
+
+// One returns the constant-1 cube (empty product) over numVars variables.
+func One(numVars int) Cube { return Cube{Vars: NewBitSet(numVars)} }
+
+// Clone returns an independent copy of c.
+func (c Cube) Clone() Cube { return Cube{Vars: c.Vars.Clone()} }
+
+// IsOne reports whether c is the constant-1 cube.
+func (c Cube) IsOne() bool { return c.Vars.IsEmpty() }
+
+// Size returns the number of literals in the cube.
+func (c Cube) Size() int { return c.Vars.Count() }
+
+// Has reports whether variable v appears in the cube.
+func (c Cube) Has(v int) bool { return c.Vars.Has(v) }
+
+// Equal reports whether two cubes are the same product.
+func (c Cube) Equal(d Cube) bool { return c.Vars.Equal(d.Vars) }
+
+// DividesInto reports whether c divides d, i.e. every literal of c appears
+// in d (so d = c * quotient for some cube quotient).
+func (c Cube) DividesInto(d Cube) bool { return c.Vars.SubsetOf(d.Vars) }
+
+// Quotient returns d / c, valid only when c divides d.
+func (c Cube) Quotient(d Cube) Cube {
+	q := d.Clone()
+	q.Vars.DifferenceWith(c.Vars)
+	return q
+}
+
+// Times returns the product c * d.
+func (c Cube) Times(d Cube) Cube {
+	p := c.Clone()
+	if len(d.Vars) > len(p.Vars) {
+		p2 := Cube{Vars: d.Vars.Clone()}
+		p2.Vars.UnionWith(c.Vars)
+		return p2
+	}
+	p.Vars.UnionWith(d.Vars)
+	return p
+}
+
+// Key returns a map key uniquely identifying the cube.
+func (c Cube) Key() string { return c.Vars.Key() }
+
+// Eval evaluates the cube on an assignment given as a bitset of true
+// variables: the product is 1 iff all its variables are set.
+func (c Cube) Eval(assign BitSet) bool { return c.Vars.SubsetOf(assign) }
+
+// String renders the cube as x0*x3*... or "1" for the constant cube.
+func (c Cube) String() string {
+	if c.IsOne() {
+		return "1"
+	}
+	var parts []string
+	c.Vars.ForEach(func(v int) { parts = append(parts, fmt.Sprintf("x%d", v)) })
+	return strings.Join(parts, "*")
+}
+
+// List is an ESOP: the XOR-sum of its cubes. The empty list is constant 0.
+// A List is not automatically kept in canonical (duplicate-free) form; use
+// Canonicalize to cancel duplicate cubes pairwise (a ⊕ a = 0).
+type List struct {
+	NumVars int
+	Cubes   []Cube
+}
+
+// NewList returns an empty (constant-0) ESOP over numVars variables.
+func NewList(numVars int) *List { return &List{NumVars: numVars} }
+
+// Clone returns a deep copy of the list.
+func (l *List) Clone() *List {
+	out := &List{NumVars: l.NumVars, Cubes: make([]Cube, len(l.Cubes))}
+	for i, c := range l.Cubes {
+		out.Cubes[i] = c.Clone()
+	}
+	return out
+}
+
+// Add appends a cube to the XOR-sum.
+func (l *List) Add(c Cube) { l.Cubes = append(l.Cubes, c) }
+
+// IsZero reports whether the list is the constant-0 function (no cubes).
+// Call Canonicalize first if duplicates may be present.
+func (l *List) IsZero() bool { return len(l.Cubes) == 0 }
+
+// Len returns the number of cubes.
+func (l *List) Len() int { return len(l.Cubes) }
+
+// Literals returns the total number of literals over all cubes.
+func (l *List) Literals() int {
+	n := 0
+	for _, c := range l.Cubes {
+		n += c.Size()
+	}
+	return n
+}
+
+// Canonicalize cancels duplicate cubes pairwise (x ⊕ x = 0) and sorts the
+// remaining cubes for deterministic output.
+func (l *List) Canonicalize() {
+	count := make(map[string]int, len(l.Cubes))
+	keep := make(map[string]Cube, len(l.Cubes))
+	for _, c := range l.Cubes {
+		k := c.Key()
+		count[k]++
+		keep[k] = c
+	}
+	l.Cubes = l.Cubes[:0]
+	for k, n := range count {
+		if n%2 == 1 {
+			l.Cubes = append(l.Cubes, keep[k])
+		}
+	}
+	l.Sort()
+}
+
+// Sort orders cubes by size then lexicographically by variable set,
+// giving deterministic iteration order.
+func (l *List) Sort() {
+	sort.Slice(l.Cubes, func(i, j int) bool {
+		a, b := l.Cubes[i], l.Cubes[j]
+		if a.Size() != b.Size() {
+			return a.Size() < b.Size()
+		}
+		ae, be := a.Vars.Elements(), b.Vars.Elements()
+		for k := 0; k < len(ae) && k < len(be); k++ {
+			if ae[k] != be[k] {
+				return ae[k] < be[k]
+			}
+		}
+		return len(ae) < len(be)
+	})
+}
+
+// Support returns the set of variables appearing in any cube.
+func (l *List) Support() BitSet {
+	s := NewBitSet(l.NumVars)
+	for _, c := range l.Cubes {
+		s.UnionWith(c.Vars)
+	}
+	return s
+}
+
+// Eval evaluates the ESOP on an assignment: XOR of all activated cubes.
+func (l *List) Eval(assign BitSet) bool {
+	v := false
+	for _, c := range l.Cubes {
+		if c.Eval(assign) {
+			v = !v
+		}
+	}
+	return v
+}
+
+// Xor returns the ESOP l ⊕ m in canonical form.
+func (l *List) Xor(m *List) *List {
+	out := l.Clone()
+	for _, c := range m.Cubes {
+		out.Add(c.Clone())
+	}
+	out.Canonicalize()
+	return out
+}
+
+// MultiplyVar returns the ESOP x_v * l (distributes over XOR).
+func (l *List) MultiplyVar(v int) *List {
+	out := l.Clone()
+	for i := range out.Cubes {
+		out.Cubes[i].Vars.Set(v)
+	}
+	out.Canonicalize()
+	return out
+}
+
+// DivideCube performs algebraic (weak) division of the ESOP by cube d:
+// l = d*quotient ⊕ remainder, where the quotient collects the cubes
+// divisible by d (with d removed) and the remainder the rest. Over GF(2)
+// this identity is exact for any d.
+func (l *List) DivideCube(d Cube) (quotient, remainder *List) {
+	quotient = NewList(l.NumVars)
+	remainder = NewList(l.NumVars)
+	for _, c := range l.Cubes {
+		if d.DividesInto(c) {
+			quotient.Add(d.Quotient(c))
+		} else {
+			remainder.Add(c.Clone())
+		}
+	}
+	return quotient, remainder
+}
+
+// DivideList performs weak algebraic division of the ESOP l by the
+// multi-cube ESOP divisor d: quotient = the largest cube set Q such that
+// every cube of d×Q appears in l, remainder = the cubes of l not covered.
+// The identity l = d·quotient ⊕ remainder holds exactly (no cancellation
+// occurs because d×Q ⊆ l as cube sets). A nil quotient (len 0) means the
+// division found nothing.
+func (l *List) DivideList(d *List) (quotient, remainder *List) {
+	quotient = NewList(l.NumVars)
+	remainder = NewList(l.NumVars)
+	if d.Len() == 0 {
+		remainder = l.Clone()
+		return quotient, remainder
+	}
+	// Quotient candidates: intersection over divisor cubes of {c/dc}.
+	var qKeys map[string]Cube
+	for _, dc := range d.Cubes {
+		cur := make(map[string]Cube)
+		for _, c := range l.Cubes {
+			if dc.DividesInto(c) {
+				q := dc.Quotient(c)
+				cur[q.Key()] = q
+			}
+		}
+		if qKeys == nil {
+			qKeys = cur
+		} else {
+			for k := range qKeys {
+				if _, ok := cur[k]; !ok {
+					delete(qKeys, k)
+				}
+			}
+		}
+		if len(qKeys) == 0 {
+			remainder = l.Clone()
+			return NewList(l.NumVars), remainder
+		}
+	}
+	covered := make(map[string]bool)
+	products := 0
+	for _, q := range qKeys {
+		quotient.Add(q.Clone())
+		for _, dc := range d.Cubes {
+			covered[dc.Times(q).Key()] = true
+			products++
+		}
+	}
+	if len(covered) != products {
+		// Two divisor×quotient products collided; in GF(2) they would
+		// cancel and break the division identity. Report no quotient.
+		return NewList(l.NumVars), l.Clone()
+	}
+	for _, c := range l.Cubes {
+		if !covered[c.Key()] {
+			remainder.Add(c.Clone())
+		}
+	}
+	quotient.Sort()
+	remainder.Sort()
+	return quotient, remainder
+}
+
+// Key returns a canonical string identifying the cube multiset (the list
+// must be canonicalized/sorted first for stability across orders; Key
+// sorts internally so any order works).
+func (l *List) Key() string {
+	keys := make([]string, len(l.Cubes))
+	for i, c := range l.Cubes {
+		keys[i] = c.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// LiteralCounts returns, for each variable, the number of cubes containing
+// it. Useful for choosing division candidates.
+func (l *List) LiteralCounts() []int {
+	counts := make([]int, l.NumVars)
+	for _, c := range l.Cubes {
+		c.Vars.ForEach(func(v int) { counts[v]++ })
+	}
+	return counts
+}
+
+// Equal reports whether two canonicalized lists contain the same cubes.
+func (l *List) Equal(m *List) bool {
+	if len(l.Cubes) != len(m.Cubes) {
+		return false
+	}
+	seen := make(map[string]int, len(l.Cubes))
+	for _, c := range l.Cubes {
+		seen[c.Key()]++
+	}
+	for _, c := range m.Cubes {
+		seen[c.Key()]--
+	}
+	for _, n := range seen {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the ESOP as "c1 ^ c2 ^ ..." or "0".
+func (l *List) String() string {
+	if l.IsZero() {
+		return "0"
+	}
+	parts := make([]string, len(l.Cubes))
+	for i, c := range l.Cubes {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ^ ")
+}
+
+// DisjointSupportGroups partitions the cubes into groups such that any two
+// distinct groups have disjoint variable supports (connected components of
+// the cube/support sharing relation). Constant-1 cubes, having empty
+// support, each form their own group. Groups are returned in a
+// deterministic order.
+func (l *List) DisjointSupportGroups() []*List {
+	n := len(l.Cubes)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	// Union cubes sharing any variable via a per-variable owner index.
+	owner := make([]int, l.NumVars)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for i, c := range l.Cubes {
+		c.Vars.ForEach(func(v int) {
+			if owner[v] < 0 {
+				owner[v] = i
+			} else {
+				union(owner[v], i)
+			}
+		})
+	}
+	groups := make(map[int]*List)
+	var order []int
+	for i, c := range l.Cubes {
+		r := find(i)
+		g, ok := groups[r]
+		if !ok {
+			g = NewList(l.NumVars)
+			groups[r] = g
+			order = append(order, r)
+		}
+		g.Add(c.Clone())
+	}
+	out := make([]*List, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+// Package delay provides static timing analysis for gate networks and
+// mapped netlists. The paper's conclusion (Section 6) notes that the
+// delay characteristics of FPRM-based circuits "will also differ from the
+// results of conventional synthesis methods and need to be analyzed" —
+// this package performs that analysis.
+//
+// Two models are provided:
+//
+//   - unit delay: every 2-input AND/OR level costs 1, an XOR costs the
+//     depth of its 3-gate AND/OR expansion (2), inverters are free — the
+//     pre-mapping counterpart of the paper's area metric;
+//   - mapped delay: per-cell intrinsic delays plus load-dependent slope,
+//     evaluated on a technology-mapped netlist.
+package delay
+
+import (
+	"repro/internal/network"
+	"repro/internal/techmap"
+)
+
+// UnitDelays holds per-gate-type depth costs for the unit-delay model.
+var unitDepth = map[network.GateType]int{
+	network.PI: 0, network.Const0: 0, network.Const1: 0,
+	network.Buf: 0, network.Not: 0,
+	network.And: 1, network.Or: 1, network.Nand: 1, network.Nor: 1,
+	// A 2-input XOR in AND/OR gates is (a+b)·(ab)': two levels.
+	network.Xor: 2, network.Xnor: 2,
+}
+
+// Report carries a timing analysis result.
+type Report struct {
+	CriticalPath int     // levels (unit model)
+	Arrival      float64 // ns-like units (mapped model)
+	// PerOutput lists the arrival at each primary output.
+	PerOutput []float64
+}
+
+// UnitDelay computes the unit-delay critical path of a gate network.
+// Multi-input gates count ⌈log2(k)⌉ levels per 2-input decomposition.
+func UnitDelay(net *network.Network) Report {
+	depth := make([]int, len(net.Gates))
+	rep := Report{}
+	for _, id := range net.TopoOrder() {
+		g := &net.Gates[id]
+		d := 0
+		for _, f := range g.Fanins {
+			if depth[f] > d {
+				d = depth[f]
+			}
+		}
+		cost := unitDepth[g.Type]
+		if k := len(g.Fanins); k > 2 && cost > 0 {
+			cost *= log2ceil(k)
+		}
+		depth[id] = d + cost
+	}
+	rep.PerOutput = make([]float64, len(net.POs))
+	for i, po := range net.POs {
+		rep.PerOutput[i] = float64(depth[po.Gate])
+		if depth[po.Gate] > rep.CriticalPath {
+			rep.CriticalPath = depth[po.Gate]
+		}
+	}
+	rep.Arrival = float64(rep.CriticalPath)
+	return rep
+}
+
+func log2ceil(k int) int {
+	n := 0
+	for v := 1; v < k; v <<= 1 {
+		n++
+	}
+	return n
+}
+
+// cellDelay gives intrinsic delay and per-fanout load slope per cell, in
+// normalized units loosely following mcnc.genlib's rise/fall averages.
+var cellDelay = map[string]struct{ intrinsic, slope float64 }{
+	"inv":   {1.0, 0.4},
+	"nand2": {1.2, 0.5},
+	"nor2":  {1.4, 0.5},
+	"and2":  {1.9, 0.5},
+	"or2":   {2.1, 0.5},
+	"nand3": {1.6, 0.5},
+	"nor3":  {1.8, 0.5},
+	"nand4": {2.0, 0.5},
+	"nor4":  {2.2, 0.5},
+	"xor2":  {2.4, 0.6},
+	"xnor2": {2.4, 0.6},
+	"aoi21": {1.8, 0.5},
+	"aoi22": {2.1, 0.5},
+	"oai21": {1.8, 0.5},
+	"oai22": {2.1, 0.5},
+}
+
+// MappedDelay computes arrival times over a mapped netlist: each cell
+// adds intrinsic + slope × fanout-count to the worst input arrival.
+func MappedDelay(res *techmap.Result) Report {
+	// Fanout counts per subject node driven by a cell.
+	load := make(map[int]int)
+	for _, c := range res.Cells {
+		for _, in := range c.Inputs {
+			load[in]++
+		}
+	}
+	for _, po := range res.Subject.POs {
+		if po.Node >= 0 {
+			load[po.Node]++
+		}
+	}
+	cellByRoot := make(map[int]techmap.MappedCell, len(res.Cells))
+	for _, c := range res.Cells {
+		cellByRoot[c.Root] = c
+	}
+	arrival := make(map[int]float64)
+	var at func(v int) float64
+	at = func(v int) float64 {
+		if res.Subject.Nodes[v].IsPI {
+			return 0
+		}
+		if a, ok := arrival[v]; ok {
+			return a
+		}
+		c, ok := cellByRoot[v]
+		if !ok {
+			// Node covered inside some match; treat as free (its delay is
+			// inside the covering cell's intrinsic delay).
+			return 0
+		}
+		worst := 0.0
+		for _, in := range c.Inputs {
+			if a := at(in); a > worst {
+				worst = a
+			}
+		}
+		d := cellDelay[c.Cell]
+		a := worst + d.intrinsic + d.slope*float64(load[v])
+		arrival[v] = a
+		return a
+	}
+	rep := Report{PerOutput: make([]float64, len(res.Subject.POs))}
+	for i, po := range res.Subject.POs {
+		if po.Node < 0 {
+			continue
+		}
+		a := at(po.Node)
+		rep.PerOutput[i] = a
+		if a > rep.Arrival {
+			rep.Arrival = a
+		}
+	}
+	return rep
+}

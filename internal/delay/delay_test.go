@@ -1,0 +1,119 @@
+package delay
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/techmap"
+)
+
+func TestUnitDelayChain(t *testing.T) {
+	net := network.New("c")
+	a := net.AddPI("a")
+	b := net.AddPI("b")
+	g := net.AddGate(network.And, a, b)
+	g = net.AddGate(network.Or, g, b)
+	g = net.AddGate(network.And, g, a)
+	net.AddPO("o", g)
+	rep := UnitDelay(net)
+	if rep.CriticalPath != 3 {
+		t.Errorf("critical path = %d, want 3", rep.CriticalPath)
+	}
+}
+
+func TestUnitDelayXorCostsTwo(t *testing.T) {
+	net := network.New("x")
+	a := net.AddPI("a")
+	b := net.AddPI("b")
+	net.AddPO("o", net.AddGate(network.Xor, a, b))
+	if rep := UnitDelay(net); rep.CriticalPath != 2 {
+		t.Errorf("XOR depth = %d, want 2", rep.CriticalPath)
+	}
+}
+
+func TestUnitDelayInvertersFree(t *testing.T) {
+	net := network.New("i")
+	a := net.AddPI("a")
+	g := net.AddGate(network.Not, net.AddGate(network.Not, a))
+	net.AddPO("o", g)
+	if rep := UnitDelay(net); rep.CriticalPath != 0 {
+		t.Errorf("inverter chain depth = %d, want 0", rep.CriticalPath)
+	}
+}
+
+func TestUnitDelayWideGate(t *testing.T) {
+	net := network.New("w")
+	var ids []int
+	for i := 0; i < 8; i++ {
+		ids = append(ids, net.AddPI(""))
+	}
+	net.AddPO("o", net.AddGate(network.And, ids...))
+	// 8-input AND = 3 levels of 2-input ANDs.
+	if rep := UnitDelay(net); rep.CriticalPath != 3 {
+		t.Errorf("and8 depth = %d, want 3", rep.CriticalPath)
+	}
+}
+
+func TestMappedDelayMonotone(t *testing.T) {
+	// A deeper network must not report a smaller mapped delay.
+	build := func(depth int) *techmap.Result {
+		net := network.New("d")
+		a := net.AddPI("a")
+		b := net.AddPI("b")
+		g := net.AddGate(network.And, a, b)
+		for i := 1; i < depth; i++ {
+			g = net.AddGate(network.And, g, b)
+		}
+		net.AddPO("o", g)
+		res, err := techmap.Map(net, techmap.Library())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	d2 := MappedDelay(build(2)).Arrival
+	d6 := MappedDelay(build(6)).Arrival
+	if d6 <= d2 {
+		t.Errorf("deeper chain not slower: %.2f vs %.2f", d6, d2)
+	}
+	if d2 <= 0 {
+		t.Error("mapped delay should be positive")
+	}
+}
+
+func TestMappedDelayLoadDependence(t *testing.T) {
+	// The same driver with more fanout must be slower.
+	build := func(fanouts int) *techmap.Result {
+		net := network.New("l")
+		a := net.AddPI("a")
+		b := net.AddPI("b")
+		g := net.AddGate(network.And, a, b)
+		for i := 0; i < fanouts; i++ {
+			net.AddPO("o", net.AddGate(network.Or, g, net.AddPI("")))
+		}
+		res, err := techmap.Map(net, techmap.Library())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	d1 := MappedDelay(build(1)).Arrival
+	d4 := MappedDelay(build(4)).Arrival
+	if d4 <= d1 {
+		t.Errorf("higher load not slower: %.2f vs %.2f", d4, d1)
+	}
+}
+
+func TestPerOutputArrivals(t *testing.T) {
+	net := network.New("p")
+	a := net.AddPI("a")
+	b := net.AddPI("b")
+	shallow := net.AddGate(network.And, a, b)
+	deep := net.AddGate(network.Or, net.AddGate(network.And, shallow, a), b)
+	net.AddPO("s", shallow)
+	net.AddPO("d", deep)
+	rep := UnitDelay(net)
+	if len(rep.PerOutput) != 2 || rep.PerOutput[0] >= rep.PerOutput[1] {
+		t.Errorf("per-output arrivals wrong: %v", rep.PerOutput)
+	}
+}

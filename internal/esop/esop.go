@@ -1,0 +1,327 @@
+// Package esop implements mixed-polarity exclusive-or sum-of-products
+// minimization in the EXORCISM style (iterated exorlink transformations),
+// the direction the paper's Section 6 points to beyond fixed-polarity
+// forms ("more elegant methods for algebraic factorization are still
+// possible … the set of rules developed by Sasao for XOR related forms
+// could serve as a base").
+//
+// An ESOP cube assigns each variable one of {1, 0, -} (positive literal,
+// negative literal, absent); the list is the XOR of its cubes. Unlike an
+// FPRM form, polarities are free per cube, so ESOPs are never larger and
+// often smaller than the best FPRM form.
+//
+// The minimizer repeatedly applies:
+//
+//	distance 0:  A ⊕ A = 0                      (cancel)
+//	distance 1:  xA ⊕ x̄A = A,  xA ⊕ A = x̄A,  x̄A ⊕ A = xA   (merge)
+//	distance 2:  exorlink-2 — rewrite a cube pair into two different
+//	             cubes; accepted when it enables a later merge
+//	             (equal-size moves taken to escape local minima).
+package esop
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cube"
+	"repro/internal/fprm"
+)
+
+// Cube is one mixed-polarity product term.
+type Cube struct {
+	Pos cube.BitSet // variables as positive literals
+	Neg cube.BitSet // variables as negative literals
+}
+
+// NewCube returns the constant-1 cube (no literals) over n variables.
+func NewCube(n int) Cube {
+	return Cube{Pos: cube.NewBitSet(n), Neg: cube.NewBitSet(n)}
+}
+
+// Clone returns a deep copy.
+func (c Cube) Clone() Cube { return Cube{Pos: c.Pos.Clone(), Neg: c.Neg.Clone()} }
+
+// Literals returns the literal count.
+func (c Cube) Literals() int { return c.Pos.Count() + c.Neg.Count() }
+
+// Key identifies the cube.
+func (c Cube) Key() string { return c.Pos.Key() + "|" + c.Neg.Key() }
+
+// Eval evaluates the product on an assignment.
+func (c Cube) Eval(assign cube.BitSet) bool {
+	if !c.Pos.SubsetOf(assign) {
+		return false
+	}
+	for i := 0; i < len(c.Neg); i++ {
+		var a uint64
+		if i < len(assign) {
+			a = assign[i]
+		}
+		if c.Neg[i]&a != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// value returns the 3-valued literal of variable v: 1 pos, 0 neg, 2 absent.
+func (c Cube) value(v int) int {
+	switch {
+	case c.Pos.Has(v):
+		return 1
+	case c.Neg.Has(v):
+		return 0
+	}
+	return 2
+}
+
+// setValue writes the 3-valued literal of v.
+func (c Cube) setValue(v, val int) {
+	c.Pos.Clear(v)
+	c.Neg.Clear(v)
+	switch val {
+	case 1:
+		c.Pos.Set(v)
+	case 0:
+		c.Neg.Set(v)
+	}
+}
+
+// List is an ESOP over n variables.
+type List struct {
+	NumVars int
+	Cubes   []Cube
+}
+
+// NewList returns the constant-0 ESOP.
+func NewList(n int) *List { return &List{NumVars: n} }
+
+// Clone returns a deep copy.
+func (l *List) Clone() *List {
+	out := &List{NumVars: l.NumVars, Cubes: make([]Cube, len(l.Cubes))}
+	for i, c := range l.Cubes {
+		out.Cubes[i] = c.Clone()
+	}
+	return out
+}
+
+// Add appends a cube.
+func (l *List) Add(c Cube) { l.Cubes = append(l.Cubes, c) }
+
+// Len returns the cube count.
+func (l *List) Len() int { return len(l.Cubes) }
+
+// Literals returns the total literal count.
+func (l *List) Literals() int {
+	n := 0
+	for _, c := range l.Cubes {
+		n += c.Literals()
+	}
+	return n
+}
+
+// Eval evaluates the ESOP (XOR of activated cubes).
+func (l *List) Eval(assign cube.BitSet) bool {
+	v := false
+	for _, c := range l.Cubes {
+		if c.Eval(assign) {
+			v = !v
+		}
+	}
+	return v
+}
+
+// FromFPRM converts a fixed-polarity form: literal v of a cube becomes
+// the positive or negative literal according to the polarity vector.
+func FromFPRM(f *fprm.Form) *List {
+	out := NewList(f.NumVars)
+	for _, c := range f.Cubes.Cubes {
+		nc := NewCube(f.NumVars)
+		c.Vars.ForEach(func(v int) {
+			if f.Polarity[v] {
+				nc.Pos.Set(v)
+			} else {
+				nc.Neg.Set(v)
+			}
+		})
+		out.Add(nc)
+	}
+	return out
+}
+
+// distance returns the number of variables on which a and b differ, and
+// the first two differing variables (valid when distance ≤ 2).
+func distance(n int, a, b Cube) (d, v1, v2 int) {
+	v1, v2 = -1, -1
+	for w := 0; w < len(a.Pos); w++ {
+		diff := (a.Pos[w] ^ b.Pos[w]) | (a.Neg[w] ^ b.Neg[w])
+		for diff != 0 {
+			bit := diff & -diff
+			diff &^= bit
+			v := w*64 + trailing(bit)
+			if v >= n {
+				continue
+			}
+			d++
+			if v1 < 0 {
+				v1 = v
+			} else if v2 < 0 {
+				v2 = v
+			} else {
+				return d, v1, v2 // d ≥ 3: callers only need ≤ 2 exactly
+			}
+		}
+	}
+	return d, v1, v2
+}
+
+func trailing(b uint64) int {
+	n := 0
+	for b&1 == 0 {
+		b >>= 1
+		n++
+	}
+	return n
+}
+
+// mergeValue computes the merged literal value of a distance-1 pair at
+// the differing variable: val(a) ⊕-combine val(b).
+//
+//	1,0 -> absent; 1,- -> 0; 0,- -> 1 (and symmetric).
+func mergeValue(va, vb int) int {
+	switch {
+	case va == 1 && vb == 0 || va == 0 && vb == 1:
+		return 2
+	case va == 1 && vb == 2 || va == 2 && vb == 1:
+		return 0
+	default: // 0/2 or 2/0
+		return 1
+	}
+}
+
+// Minimize reduces the cube count in place via exorlink iteration.
+// maxPasses bounds the outer loop (0 = 16).
+func (l *List) Minimize(maxPasses int) {
+	if maxPasses <= 0 {
+		maxPasses = 16
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := l.mergePass()
+		changed = l.exorlink2Pass() || changed
+		if !changed {
+			return
+		}
+	}
+}
+
+// mergePass cancels distance-0 pairs and merges distance-1 pairs until
+// none remain. Returns whether anything changed.
+func (l *List) mergePass() bool {
+	changed := false
+	for {
+		merged := false
+	outer:
+		for i := 0; i < len(l.Cubes); i++ {
+			for j := i + 1; j < len(l.Cubes); j++ {
+				d, v1, _ := distance(l.NumVars, l.Cubes[i], l.Cubes[j])
+				switch d {
+				case 0:
+					// A ⊕ A = 0: drop both.
+					l.Cubes = append(l.Cubes[:j], l.Cubes[j+1:]...)
+					l.Cubes = append(l.Cubes[:i], l.Cubes[i+1:]...)
+					merged = true
+					break outer
+				case 1:
+					nv := mergeValue(l.Cubes[i].value(v1), l.Cubes[j].value(v1))
+					l.Cubes[i].setValue(v1, nv)
+					l.Cubes = append(l.Cubes[:j], l.Cubes[j+1:]...)
+					merged = true
+					break outer
+				}
+			}
+		}
+		if !merged {
+			return changed
+		}
+		changed = true
+	}
+}
+
+// exorlink2Pass tries distance-2 rewrites that enable a distance ≤1 merge
+// with some third cube; each accepted rewrite keeps the ESOP equivalent
+// and the cube count equal, and the subsequent mergePass shrinks it.
+func (l *List) exorlink2Pass() bool {
+	changed := false
+	for i := 0; i < len(l.Cubes); i++ {
+		for j := i + 1; j < len(l.Cubes); j++ {
+			d, v1, v2 := distance(l.NumVars, l.Cubes[i], l.Cubes[j])
+			if d != 2 {
+				continue
+			}
+			a, b := l.Cubes[i], l.Cubes[j]
+			// exorlink-2: a ⊕ b = a' ⊕ b' where a' takes b's literal at
+			// one differing variable with the merged value, in two ways.
+			for _, vars := range [2][2]int{{v1, v2}, {v2, v1}} {
+				na := a.Clone()
+				na.setValue(vars[0], mergeValue(a.value(vars[0]), b.value(vars[0])))
+				nb := b.Clone()
+				nb.setValue(vars[1], mergeValue(a.value(vars[1]), b.value(vars[1])))
+				// Accept if either new cube is within distance 1 of a
+				// third cube (it will merge on the next pass).
+				if l.enablesMerge(na, i, j) || l.enablesMerge(nb, i, j) {
+					l.Cubes[i] = na
+					l.Cubes[j] = nb
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func (l *List) enablesMerge(c Cube, skipI, skipJ int) bool {
+	for k := range l.Cubes {
+		if k == skipI || k == skipJ {
+			continue
+		}
+		if d, _, _ := distance(l.NumVars, c, l.Cubes[k]); d <= 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the ESOP.
+func (l *List) String() string {
+	if len(l.Cubes) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(l.Cubes))
+	for i, c := range l.Cubes {
+		if c.Literals() == 0 {
+			parts[i] = "1"
+			continue
+		}
+		var b strings.Builder
+		first := true
+		for v := 0; v < l.NumVars; v++ {
+			switch c.value(v) {
+			case 1:
+				if !first {
+					b.WriteByte('*')
+				}
+				fmt.Fprintf(&b, "x%d", v)
+				first = false
+			case 0:
+				if !first {
+					b.WriteByte('*')
+				}
+				fmt.Fprintf(&b, "~x%d", v)
+				first = false
+			}
+		}
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, " ^ ")
+}

@@ -1,0 +1,191 @@
+package esop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bdd"
+	"repro/internal/cube"
+	"repro/internal/fprm"
+)
+
+func assignOf(n, a int) cube.BitSet {
+	s := cube.NewBitSet(n)
+	for v := 0; v < n; v++ {
+		if a&(1<<v) != 0 {
+			s.Set(v)
+		}
+	}
+	return s
+}
+
+func mk(n int, pos, neg []int) Cube {
+	c := NewCube(n)
+	for _, v := range pos {
+		c.Pos.Set(v)
+	}
+	for _, v := range neg {
+		c.Neg.Set(v)
+	}
+	return c
+}
+
+func TestDistance(t *testing.T) {
+	a := mk(4, []int{0, 1}, nil)      // x0x1
+	b := mk(4, []int{0}, []int{1})    // x0x̄1
+	c := mk(4, []int{2}, []int{0, 1}) // x̄0x̄1x2
+	if d, v1, _ := distance(4, a, b); d != 1 || v1 != 1 {
+		t.Errorf("d(a,b) = %d at %d", d, v1)
+	}
+	if d, _, _ := distance(4, a, c); d != 3 {
+		t.Errorf("d(a,c) = %d, want 3", d)
+	}
+	if d, _, _ := distance(4, a, a); d != 0 {
+		t.Error("d(a,a) != 0")
+	}
+}
+
+func TestMergeDistance1(t *testing.T) {
+	// x0x1 ⊕ x0x̄1 = x0.
+	l := NewList(2)
+	l.Add(mk(2, []int{0, 1}, nil))
+	l.Add(mk(2, []int{0}, []int{1}))
+	l.Minimize(0)
+	if l.Len() != 1 || l.Cubes[0].value(0) != 1 || l.Cubes[0].value(1) != 2 {
+		t.Errorf("merge failed: %s", l)
+	}
+	// x0x1 ⊕ x0 = x0x̄1.
+	m := NewList(2)
+	m.Add(mk(2, []int{0, 1}, nil))
+	m.Add(mk(2, []int{0}, nil))
+	m.Minimize(0)
+	if m.Len() != 1 || m.Cubes[0].value(1) != 0 {
+		t.Errorf("absorb failed: %s", m)
+	}
+}
+
+func TestCancelDistance0(t *testing.T) {
+	l := NewList(3)
+	l.Add(mk(3, []int{0, 2}, nil))
+	l.Add(mk(3, []int{1}, nil))
+	l.Add(mk(3, []int{0, 2}, nil))
+	l.Minimize(0)
+	if l.Len() != 1 {
+		t.Errorf("cancel failed: %s", l)
+	}
+}
+
+func TestExorlink2EnablesMerge(t *testing.T) {
+	// x1x2 ⊕ x̄1x̄2 ⊕ x̄1 : exorlink on the first pair can produce x2 ⊕ x̄1
+	// pieces that merge with the third cube.
+	l := NewList(2)
+	l.Add(mk(2, []int{0, 1}, nil))
+	l.Add(mk(2, nil, []int{0, 1}))
+	l.Add(mk(2, nil, []int{0}))
+	before := l.Len()
+	l.Minimize(0)
+	if l.Len() >= before {
+		t.Errorf("exorlink did not reduce: %s", l)
+	}
+	// Verify function: f = x0x1 ⊕ x̄0x̄1 ⊕ x̄0 = (a==b) ⊕ ā.
+	for a := 0; a < 4; a++ {
+		x0 := a&1 != 0
+		x1 := a&2 != 0
+		want := (x0 == x1) != !x0
+		if got := l.Eval(assignOf(2, a)); got != want {
+			t.Errorf("f(%02b) = %v, want %v", a, got, want)
+		}
+	}
+}
+
+// Property: Minimize preserves the function and never grows the list.
+func TestQuickMinimizePreserves(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		l := NewList(n)
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			c := NewCube(n)
+			for v := 0; v < n; v++ {
+				c.setValue(v, rng.Intn(3))
+			}
+			l.Add(c)
+		}
+		before := l.Clone()
+		l.Minimize(0)
+		if l.Len() > before.Len() {
+			return false
+		}
+		for a := 0; a < 1<<n; a++ {
+			if l.Eval(assignOf(n, a)) != before.Eval(assignOf(n, a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromFPRM(t *testing.T) {
+	// f = x̄0 ⊕ x̄0x1 with polarity (neg, pos).
+	form := fprm.NewForm(2, []bool{false, true})
+	form.Cubes.Add(cube.New(2, 0))
+	form.Cubes.Add(cube.New(2, 0, 1))
+	l := FromFPRM(form)
+	for a := 0; a < 4; a++ {
+		if l.Eval(assignOf(2, a)) != form.Eval(assignOf(2, a)) {
+			t.Fatalf("FromFPRM differs at %02b", a)
+		}
+	}
+	// The two cubes merge: x̄0 ⊕ x̄0x1 = x̄0x̄1.
+	l.Minimize(0)
+	if l.Len() != 1 {
+		t.Errorf("expected single cube, got %s", l)
+	}
+}
+
+// TestESOPBeatsFPRMOn9sym: mixed polarity must do better than the best
+// fixed-polarity form (173 cubes) on the 9sym benchmark.
+func TestESOPBeatsFPRMOn9sym(t *testing.T) {
+	n := 9
+	m := bdd.New(n)
+	var g bdd.Ref = bdd.Zero
+	// Build 9sym's BDD from its symmetric definition.
+	for a := 0; a < 1<<n; a++ {
+		cnt := 0
+		for v := 0; v < n; v++ {
+			if a&(1<<v) != 0 {
+				cnt++
+			}
+		}
+		if cnt >= 3 && cnt <= 6 {
+			p := bdd.One
+			for v := 0; v < n; v++ {
+				if a&(1<<v) != 0 {
+					p = m.And(p, m.Var(v))
+				} else {
+					p = m.And(p, m.Not(m.Var(v)))
+				}
+			}
+			g = m.Or(g, p)
+		}
+	}
+	form := fprm.FromBDD(m, g, nil, 0)
+	form = fprm.SearchGreedy(form)
+	l := FromFPRM(form)
+	before := l.Len()
+	l.Minimize(0)
+	t.Logf("9sym: FPRM %d cubes -> ESOP %d cubes (known FPRM optimum 173, known ESOP optimum ~51)", before, l.Len())
+	if l.Len() >= before {
+		t.Errorf("ESOP minimization did not improve on the FPRM form (%d)", l.Len())
+	}
+	// Function must be preserved.
+	for a := 0; a < 1<<n; a++ {
+		if l.Eval(assignOf(n, a)) != m.Eval(g, assignOf(n, a)) {
+			t.Fatal("9sym ESOP function changed")
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package factor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cube"
+	"repro/internal/network"
+)
+
+// Emitter turns expression DAGs into gates of a network, applying the FPRM
+// polarity to literals and sharing structurally identical subexpressions
+// across all emitted expressions (the cross-output sharing the paper
+// obtains with SIS resub). Gates are hash-consed as they are created, so
+// the same (type, fanins) gate is never emitted twice, and XOR trees
+// prefer operand pairs whose XOR gate already exists.
+type Emitter struct {
+	Net      *network.Network
+	PIGates  []int  // gate ID of each variable's primary input
+	Polarity []bool // literal polarity per variable (nil = all positive)
+
+	memo      map[string]int
+	gateCache map[string]int
+	supCache  map[string]cube.BitSet
+	const0    int
+	const1    int
+}
+
+// NewEmitter returns an emitter into net whose variable v literal is
+// piGates[v] (positive polarity) or its complement (negative).
+func NewEmitter(net *network.Network, piGates []int, polarity []bool) *Emitter {
+	return &Emitter{
+		Net: net, PIGates: piGates, Polarity: polarity,
+		memo:      make(map[string]int),
+		gateCache: make(map[string]int),
+		supCache:  make(map[string]cube.BitSet),
+		const0:    -1, const1: -1,
+	}
+}
+
+func gateKey(t network.GateType, fanins []int) string {
+	return fmt.Sprintf("%d:%v", t, fanins)
+}
+
+// addGate hash-conses gate creation (commutative fanins sorted).
+func (em *Emitter) addGate(t network.GateType, fanins ...int) int {
+	switch t {
+	case network.And, network.Or, network.Xor, network.Nand, network.Nor, network.Xnor:
+		sort.Ints(fanins)
+	}
+	key := gateKey(t, fanins)
+	if id, ok := em.gateCache[key]; ok {
+		return id
+	}
+	id := em.Net.AddGate(t, fanins...)
+	em.gateCache[key] = id
+	return id
+}
+
+// hasGate reports whether a gate with this type and fanins already exists.
+func (em *Emitter) hasGate(t network.GateType, fanins ...int) bool {
+	sort.Ints(fanins)
+	_, ok := em.gateCache[gateKey(t, fanins)]
+	return ok
+}
+
+// tree builds a balanced tree of 2-input hash-consed gates.
+func (em *Emitter) tree(t network.GateType, ids []int) int {
+	for len(ids) > 1 {
+		var next []int
+		for i := 0; i+1 < len(ids); i += 2 {
+			next = append(next, em.addGate(t, ids[i], ids[i+1]))
+		}
+		if len(ids)%2 == 1 {
+			next = append(next, ids[len(ids)-1])
+		}
+		ids = next
+	}
+	return ids[0]
+}
+
+// Emit adds gates computing e and returns the driving gate ID.
+func (em *Emitter) Emit(e *Expr) int {
+	if id, ok := em.memo[e.key]; ok {
+		return id
+	}
+	var id int
+	switch e.Op {
+	case OpConst0:
+		if em.const0 < 0 {
+			em.const0 = em.Net.AddGate(network.Const0)
+		}
+		id = em.const0
+	case OpConst1:
+		if em.const1 < 0 {
+			em.const1 = em.Net.AddGate(network.Const1)
+		}
+		id = em.const1
+	case OpLit:
+		id = em.PIGates[e.Var]
+		if em.Polarity != nil && !em.Polarity[e.Var] {
+			id = em.not(id)
+		}
+	case OpNot:
+		id = em.not(em.Emit(e.Kids[0]))
+	case OpAnd, OpOr:
+		fanins := make([]int, len(e.Kids))
+		for i, k := range e.Kids {
+			fanins[i] = em.Emit(k)
+		}
+		t := network.And
+		if e.Op == OpOr {
+			t = network.Or
+		}
+		// Keep gates 2-input: the paper's cost model and the redundancy
+		// analysis of Section 4 are formulated over 2-input gates.
+		id = em.tree(t, fanins)
+	case OpXor:
+		id = em.emitXor(e)
+	}
+	em.memo[e.key] = id
+	return id
+}
+
+// emitXor builds the 2-input XOR tree for an n-ary XOR expression with
+// support-aware operand pairing: operands whose supports nest (the
+// signature of a rule (a)/(c) reduction opportunity) are paired first,
+// then overlapping operands, and support-disjoint groups are joined by a
+// balanced binary tree — the paper's Step 5 — except that pairs whose XOR
+// gate already exists in the network are always taken first (reusing, for
+// example, an adder's a⊕b between its sum and carry logic). This ordering
+// is what makes the Section 4 redundancy analysis find its reducible XOR
+// gates.
+func (em *Emitter) emitXor(e *Expr) int {
+	items := make([]xorItem, len(e.Kids))
+	for i, k := range e.Kids {
+		items[i] = xorItem{id: em.Emit(k), sup: em.support(k)}
+	}
+	// Union-find support-connected components.
+	parent := make([]int, len(items))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for i := range items {
+		for j := i + 1; j < len(items); j++ {
+			if items[i].sup.Intersects(items[j].sup) {
+				parent[find(j)] = find(i)
+			}
+		}
+	}
+	comps := make(map[int][]xorItem)
+	var order []int
+	for i := range items {
+		r := find(i)
+		if _, ok := comps[r]; !ok {
+			order = append(order, r)
+		}
+		comps[r] = append(comps[r], items[i])
+	}
+	var roots []xorItem
+	for _, r := range order {
+		group := comps[r]
+		// Greedy pairing inside the component.
+		for len(group) > 1 {
+			bi, bj, bestScore := 0, 1, -1
+			for i := range group {
+				for j := i + 1; j < len(group); j++ {
+					si, sj := group[i].sup, group[j].sup
+					score := 0
+					if em.hasGate(network.Xor, group[i].id, group[j].id) {
+						score += 1 << 21 // the pair gate already exists
+					}
+					if si.SubsetOf(sj) || sj.SubsetOf(si) {
+						score += 1 << 20 // reduction-shaped pair
+					}
+					inter := si.Clone()
+					inter.IntersectWith(sj)
+					score += inter.Count()
+					if score > bestScore {
+						bi, bj, bestScore = i, j, score
+					}
+				}
+			}
+			group = mergePair(em, group, bi, bj)
+		}
+		roots = append(roots, group[0])
+	}
+	// Join disjoint components, taking already-existing pairs first, the
+	// rest as a balanced tree.
+	for len(roots) > 1 {
+		merged := false
+		for i := 0; i < len(roots) && !merged; i++ {
+			for j := i + 1; j < len(roots); j++ {
+				if em.hasGate(network.Xor, roots[i].id, roots[j].id) {
+					roots = mergePair(em, roots, i, j)
+					merged = true
+					break
+				}
+			}
+		}
+		if !merged {
+			// One balanced level.
+			var next []xorItem
+			for i := 0; i+1 < len(roots); i += 2 {
+				next = append(next, em.pairItems(roots[i], roots[i+1]))
+			}
+			if len(roots)%2 == 1 {
+				next = append(next, roots[len(roots)-1])
+			}
+			roots = next
+		}
+	}
+	return roots[0].id
+}
+
+// xorItem is an operand of an XOR tree under construction.
+type xorItem struct {
+	id  int
+	sup cube.BitSet
+}
+
+func (em *Emitter) pairItems(a, b xorItem) xorItem {
+	s := a.sup.Clone()
+	s.UnionWith(b.sup)
+	return xorItem{id: em.addGate(network.Xor, a.id, b.id), sup: s}
+}
+
+func mergePair(em *Emitter, group []xorItem, bi, bj int) []xorItem {
+	merged := em.pairItems(group[bi], group[bj])
+	ng := group[:0:0]
+	for k := range group {
+		if k != bi && k != bj {
+			ng = append(ng, group[k])
+		}
+	}
+	return append(ng, merged)
+}
+
+// support returns the variable support of an expression, memoized.
+func (em *Emitter) support(e *Expr) cube.BitSet {
+	if s, ok := em.supCache[e.key]; ok {
+		return s
+	}
+	s := cube.NewBitSet(len(em.PIGates))
+	if e.Op == OpLit {
+		s.Set(e.Var)
+	}
+	for _, k := range e.Kids {
+		s.UnionWith(em.support(k))
+	}
+	em.supCache[e.key] = s
+	return s
+}
+
+func (em *Emitter) not(id int) int {
+	key := gateKey(network.Not, []int{id})
+	if n, ok := em.gateCache[key]; ok {
+		return n
+	}
+	n := em.Net.AddGate(network.Not, id)
+	em.gateCache[key] = n
+	return n
+}

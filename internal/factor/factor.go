@@ -1,0 +1,133 @@
+package factor
+
+import (
+	"repro/internal/cube"
+	"repro/internal/ofdd"
+)
+
+// Options control factorization.
+type Options struct {
+	// ApplyRules enables the Reduction rules (a)-(c) and OR factoring
+	// rule (e) as expression rewrites after algebraic factorization.
+	// The paper applies them iteratively until fixpoint.
+	ApplyRules bool
+	// MaxRulePasses bounds the fixpoint iteration (0 = default 8).
+	MaxRulePasses int
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options { return Options{ApplyRules: true} }
+
+// CubeMethod implements Method 1 of Section 3: factor the FPRM cube list
+// directly. Steps: (2) split cubes into groups with disjoint support,
+// (3/4) factor each group recursively by dividing out maximal common
+// cubes (rule d), (5) join group subnetworks with a balanced binary XOR
+// tree. Reduction rules are applied afterwards when enabled.
+//
+// For multi-output functions, create one Context and call its Factor
+// method per output to share subfunctions across outputs.
+func CubeMethod(l *cube.List, opt Options) *Expr {
+	return NewContext(opt).Factor(l)
+}
+
+func (o Options) maxPasses() int {
+	if o.MaxRulePasses > 0 {
+		return o.MaxRulePasses
+	}
+	return 8
+}
+
+// balancedXor joins expressions with a balanced binary XOR tree (the
+// shape the paper prescribes for Step 5).
+func balancedXor(exprs []*Expr) *Expr {
+	// Filter constants first: 1 toggles an inversion, 0 disappears.
+	invert := false
+	var live []*Expr
+	for _, e := range exprs {
+		switch e.Op {
+		case OpConst0:
+		case OpConst1:
+			invert = !invert
+		default:
+			live = append(live, e)
+		}
+	}
+	if len(live) == 0 {
+		if invert {
+			return One()
+		}
+		return Zero()
+	}
+	for len(live) > 1 {
+		var next []*Expr
+		for i := 0; i+1 < len(live); i += 2 {
+			next = append(next, XorN(live[i], live[i+1]))
+		}
+		if len(live)%2 == 1 {
+			next = append(next, live[len(live)-1])
+		}
+		live = next
+	}
+	if invert {
+		return Not(live[0])
+	}
+	return live[0]
+}
+
+func cubeExpr(c cube.Cube) *Expr {
+	if c.IsOne() {
+		return One()
+	}
+	lits := make([]*Expr, 0, c.Size())
+	c.Vars.ForEach(func(v int) { lits = append(lits, Lit(v)) })
+	return AndN(lits...)
+}
+
+// OFDDContext factors multiple functions over one OFDD manager with a
+// shared node→expression memo, so OFDD nodes shared between outputs
+// become shared subexpressions (and shared gates after emission).
+type OFDDContext struct {
+	M    *ofdd.Manager
+	opt  Options
+	memo map[ofdd.Ref]*Expr
+}
+
+// NewOFDDContext returns a factoring context over the manager.
+func NewOFDDContext(m *ofdd.Manager, opt Options) *OFDDContext {
+	return &OFDDContext{M: m, opt: opt, memo: make(map[ofdd.Ref]*Expr)}
+}
+
+// Factor implements Method 2 of Section 3 for one function: traverse the
+// OFDD and build the initial factored network directly from the Davio
+// expansions, sharing subexpressions for shared nodes; then apply the
+// rules.
+func (cx *OFDDContext) Factor(f ofdd.Ref) *Expr {
+	var rec func(ofdd.Ref) *Expr
+	rec = func(f ofdd.Ref) *Expr {
+		if f == ofdd.Zero {
+			return Zero()
+		}
+		if f == ofdd.One {
+			return One()
+		}
+		if e, ok := cx.memo[f]; ok {
+			return e
+		}
+		v := cx.M.TopVar(f)
+		lo := rec(cx.M.Lo(f))
+		hi := rec(cx.M.Hi(f))
+		e := XorN(lo, AndN(Lit(v), hi))
+		cx.memo[f] = e
+		return e
+	}
+	e := rec(f)
+	if cx.opt.ApplyRules {
+		e = ApplyRules(e, cx.opt.maxPasses())
+	}
+	return e
+}
+
+// OFDDMethod is the single-function convenience form of OFDDContext.
+func OFDDMethod(m *ofdd.Manager, f ofdd.Ref, opt Options) *Expr {
+	return NewOFDDContext(m, opt).Factor(f)
+}

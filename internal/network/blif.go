@@ -1,0 +1,272 @@
+package network
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteBLIF renders the network in Berkeley BLIF format. Multi-input XOR
+// gates are emitted with full parity covers (they are small in practice);
+// other gates map directly onto .names covers.
+func (n *Network) WriteBLIF(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	name := n.Name
+	if name == "" {
+		name = "top"
+	}
+	fmt.Fprintf(bw, ".model %s\n", name)
+	fmt.Fprint(bw, ".inputs")
+	for _, pi := range n.PIs {
+		fmt.Fprintf(bw, " %s", n.signalName(pi))
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprint(bw, ".outputs")
+	for _, po := range n.POs {
+		fmt.Fprintf(bw, " %s", po.Name)
+	}
+	fmt.Fprintln(bw)
+	for _, id := range n.TopoOrder() {
+		g := &n.Gates[id]
+		if g.Type == PI {
+			continue
+		}
+		fmt.Fprint(bw, ".names")
+		for _, f := range g.Fanins {
+			fmt.Fprintf(bw, " %s", n.signalName(f))
+		}
+		fmt.Fprintf(bw, " %s\n", n.signalName(id))
+		k := len(g.Fanins)
+		switch g.Type {
+		case Const0:
+			// no rows: constant 0
+		case Const1:
+			fmt.Fprintln(bw, "1")
+		case Buf:
+			fmt.Fprintln(bw, "1 1")
+		case Not:
+			fmt.Fprintln(bw, "0 1")
+		case And:
+			fmt.Fprintln(bw, strings.Repeat("1", k)+" 1")
+		case Nand:
+			for i := 0; i < k; i++ {
+				fmt.Fprintln(bw, rowWith(k, i, '0')+" 1")
+			}
+		case Or:
+			for i := 0; i < k; i++ {
+				fmt.Fprintln(bw, rowWith(k, i, '1')+" 1")
+			}
+		case Nor:
+			fmt.Fprintln(bw, strings.Repeat("0", k)+" 1")
+		case Xor, Xnor:
+			wantOdd := g.Type == Xor
+			for a := 0; a < 1<<uint(k); a++ {
+				ones := 0
+				row := make([]byte, k)
+				for i := 0; i < k; i++ {
+					if a&(1<<i) != 0 {
+						row[i] = '1'
+						ones++
+					} else {
+						row[i] = '0'
+					}
+				}
+				if (ones%2 == 1) == wantOdd {
+					fmt.Fprintf(bw, "%s 1\n", row)
+				}
+			}
+		}
+	}
+	// POs driven by an internal gate with a different name get a buffer.
+	for _, po := range n.POs {
+		if n.signalName(po.Gate) != po.Name {
+			fmt.Fprintf(bw, ".names %s %s\n1 1\n", n.signalName(po.Gate), po.Name)
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// rowWith returns a row of '-' with one position set to c.
+func rowWith(k, i int, c byte) string {
+	row := []byte(strings.Repeat("-", k))
+	row[i] = c
+	return string(row)
+}
+
+func (n *Network) signalName(id int) string {
+	g := &n.Gates[id]
+	if g.Name != "" {
+		return g.Name
+	}
+	return fmt.Sprintf("n%d", id)
+}
+
+// ReadBLIF parses a single-model BLIF file into a network of
+// AND/OR/NOT/Const gates. Each .names block becomes an OR of row-ANDs.
+// Rows with output 0 define the OFF-set; the node is then complemented.
+// Latches and subcircuits are not supported.
+func ReadBLIF(r io.Reader) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var lines []string
+	// Join continuation lines ending in '\'.
+	var cur strings.Builder
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, "\\") {
+			cur.WriteString(strings.TrimSuffix(line, "\\"))
+			cur.WriteByte(' ')
+			continue
+		}
+		cur.WriteString(line)
+		lines = append(lines, cur.String())
+		cur.Reset()
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	n := New("")
+	sig := make(map[string]int) // signal name -> gate ID
+	var outputs []string
+	type namesBlock struct {
+		signals []string
+		rows    []string
+	}
+	var blocks []namesBlock
+
+	for i := 0; i < len(lines); i++ {
+		fields := strings.Fields(lines[i])
+		switch fields[0] {
+		case ".model":
+			if len(fields) > 1 {
+				n.Name = fields[1]
+			}
+		case ".inputs":
+			for _, name := range fields[1:] {
+				sig[name] = n.AddPI(name)
+			}
+		case ".outputs":
+			outputs = append(outputs, fields[1:]...)
+		case ".names":
+			blk := namesBlock{signals: fields[1:]}
+			for i+1 < len(lines) && !strings.HasPrefix(lines[i+1], ".") {
+				i++
+				blk.rows = append(blk.rows, lines[i])
+			}
+			blocks = append(blocks, blk)
+		case ".end":
+		case ".latch", ".subckt", ".gate":
+			return nil, fmt.Errorf("blif: unsupported construct %s", fields[0])
+		default:
+			return nil, fmt.Errorf("blif: unknown directive %s", fields[0])
+		}
+	}
+
+	// Build blocks in dependency order (simple fixpoint; BLIF allows any
+	// order of .names).
+	built := make(map[int]bool)
+	for remaining := len(blocks); remaining > 0; {
+		progress := false
+		for bi, blk := range blocks {
+			if built[bi] {
+				continue
+			}
+			outName := blk.signals[len(blk.signals)-1]
+			ready := true
+			for _, in := range blk.signals[:len(blk.signals)-1] {
+				if _, ok := sig[in]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			id, err := buildNamesBlock(n, sig, blk.signals, blk.rows)
+			if err != nil {
+				return nil, err
+			}
+			sig[outName] = id
+			built[bi] = true
+			remaining--
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("blif: unresolved signal dependencies (cycle or undefined input)")
+		}
+	}
+
+	for _, out := range outputs {
+		id, ok := sig[out]
+		if !ok {
+			return nil, fmt.Errorf("blif: output %s never defined", out)
+		}
+		n.AddPO(out, id)
+	}
+	return n, nil
+}
+
+func buildNamesBlock(n *Network, sig map[string]int, signals, rows []string) (int, error) {
+	k := len(signals) - 1
+	if len(rows) == 0 {
+		return n.AddGate(Const0), nil
+	}
+	if k == 0 {
+		// Constant: a row "1" means const 1.
+		for _, row := range rows {
+			if strings.TrimSpace(row) == "1" {
+				return n.AddGate(Const1), nil
+			}
+		}
+		return n.AddGate(Const0), nil
+	}
+	var rowGates []int
+	outPhase := byte('1')
+	for _, row := range rows {
+		fields := strings.Fields(row)
+		if len(fields) != 2 || len(fields[0]) != k {
+			return 0, fmt.Errorf("blif: malformed row %q for %s", row, signals[k])
+		}
+		outPhase = fields[1][0]
+		var lits []int
+		for i := 0; i < k; i++ {
+			in := sig[signals[i]]
+			switch fields[0][i] {
+			case '1':
+				lits = append(lits, in)
+			case '0':
+				lits = append(lits, n.AddGate(Not, in))
+			case '-':
+			default:
+				return 0, fmt.Errorf("blif: bad literal %c in row %q", fields[0][i], row)
+			}
+		}
+		switch len(lits) {
+		case 0:
+			rowGates = append(rowGates, n.AddGate(Const1))
+		case 1:
+			rowGates = append(rowGates, lits[0])
+		default:
+			rowGates = append(rowGates, n.AddGate(And, lits...))
+		}
+	}
+	var id int
+	if len(rowGates) == 1 {
+		id = rowGates[0]
+	} else {
+		id = n.AddGate(Or, rowGates...)
+	}
+	if outPhase == '0' {
+		id = n.AddGate(Not, id)
+	}
+	return id, nil
+}

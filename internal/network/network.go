@@ -1,0 +1,584 @@
+// Package network provides the multilevel Boolean gate network used by the
+// synthesis flows: an in-memory netlist of primitive gates (AND, OR, XOR
+// and friends), with topological traversal, 64-way parallel bit
+// simulation, structural cleanup (sweep, constant propagation, structural
+// hashing), cost metrics, BDD extraction, and BLIF text I/O.
+//
+// The pre-technology-mapping cost metric follows the paper's convention:
+// circuits are measured in 2-input AND/OR gates, an XOR counting as three
+// AND/OR gates (Example 1), inverters free, and "lits" = 2 × gate count.
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bdd"
+	"repro/internal/cube"
+)
+
+// GateType enumerates the primitive gate functions.
+type GateType int
+
+// Gate types. PI gates have no fanins; Const gates are nullary constants;
+// Buf/Not are unary; the rest take one or more fanins.
+const (
+	PI GateType = iota
+	Const0
+	Const1
+	Buf
+	Not
+	And
+	Or
+	Nand
+	Nor
+	Xor
+	Xnor
+)
+
+var typeNames = map[GateType]string{
+	PI: "pi", Const0: "const0", Const1: "const1", Buf: "buf", Not: "not",
+	And: "and", Or: "or", Nand: "nand", Nor: "nor", Xor: "xor", Xnor: "xnor",
+}
+
+func (t GateType) String() string { return typeNames[t] }
+
+// Gate is one node of the network. Fanins refer to gate IDs.
+type Gate struct {
+	ID     int
+	Type   GateType
+	Fanins []int
+	Name   string // set for PIs; optional elsewhere
+}
+
+// PO is a named primary output driven by a gate.
+type PO struct {
+	Name string
+	Gate int
+}
+
+// Network is a multilevel combinational gate netlist.
+type Network struct {
+	Name  string
+	Gates []Gate
+	PIs   []int // gate IDs, in declaration order
+	POs   []PO
+}
+
+// New returns an empty network.
+func New(name string) *Network { return &Network{Name: name} }
+
+// AddPI appends a primary input gate and returns its ID.
+func (n *Network) AddPI(name string) int {
+	id := len(n.Gates)
+	n.Gates = append(n.Gates, Gate{ID: id, Type: PI, Name: name})
+	n.PIs = append(n.PIs, id)
+	return id
+}
+
+// AddGate appends a gate of the given type and returns its ID. Fanin IDs
+// must already exist.
+func (n *Network) AddGate(t GateType, fanins ...int) int {
+	for _, f := range fanins {
+		if f < 0 || f >= len(n.Gates) {
+			panic(fmt.Sprintf("network: fanin %d out of range", f))
+		}
+	}
+	switch t {
+	case PI:
+		panic("network: use AddPI for primary inputs")
+	case Const0, Const1:
+		if len(fanins) != 0 {
+			panic("network: constants take no fanins")
+		}
+	case Buf, Not:
+		if len(fanins) != 1 {
+			panic(fmt.Sprintf("network: %v takes exactly one fanin", t))
+		}
+	default:
+		if len(fanins) == 0 {
+			panic(fmt.Sprintf("network: %v needs fanins", t))
+		}
+	}
+	id := len(n.Gates)
+	n.Gates = append(n.Gates, Gate{ID: id, Type: t, Fanins: append([]int(nil), fanins...)})
+	return id
+}
+
+// AddPO marks gate id as the primary output called name.
+func (n *Network) AddPO(name string, id int) {
+	n.POs = append(n.POs, PO{Name: name, Gate: id})
+}
+
+// NumPIs returns the number of primary inputs.
+func (n *Network) NumPIs() int { return len(n.PIs) }
+
+// NumPOs returns the number of primary outputs.
+func (n *Network) NumPOs() int { return len(n.POs) }
+
+// Clone returns a deep copy of the network.
+func (n *Network) Clone() *Network {
+	out := &Network{Name: n.Name, PIs: append([]int(nil), n.PIs...), POs: append([]PO(nil), n.POs...)}
+	out.Gates = make([]Gate, len(n.Gates))
+	for i, g := range n.Gates {
+		out.Gates[i] = Gate{ID: g.ID, Type: g.Type, Name: g.Name, Fanins: append([]int(nil), g.Fanins...)}
+	}
+	return out
+}
+
+// TopoOrder returns the IDs of all gates in the transitive fanin of the
+// POs, fanins before fanouts. PIs are included.
+func (n *Network) TopoOrder() []int {
+	state := make([]int8, len(n.Gates)) // 0 unseen, 1 visiting, 2 done
+	var order []int
+	var visit func(int)
+	visit = func(id int) {
+		switch state[id] {
+		case 2:
+			return
+		case 1:
+			panic("network: combinational cycle")
+		}
+		state[id] = 1
+		for _, f := range n.Gates[id].Fanins {
+			visit(f)
+		}
+		state[id] = 2
+		order = append(order, id)
+	}
+	for _, pi := range n.PIs {
+		visit(pi)
+	}
+	for _, po := range n.POs {
+		visit(po.Gate)
+	}
+	return order
+}
+
+// Fanouts returns, for each gate ID, the IDs of gates that list it as a
+// fanin (POs are not included; see POsOf).
+func (n *Network) Fanouts() [][]int {
+	out := make([][]int, len(n.Gates))
+	for _, g := range n.Gates {
+		for _, f := range g.Fanins {
+			out[f] = append(out[f], g.ID)
+		}
+	}
+	return out
+}
+
+// EvalGateWord computes one gate's 64-pattern output word from its fanin
+// words (exported for incremental simulators).
+func EvalGateWord(t GateType, in []uint64) uint64 { return evalGate(t, in) }
+
+// evalGate computes one gate's 64-pattern word from its fanin words.
+func evalGate(t GateType, in []uint64) uint64 {
+	switch t {
+	case Const0:
+		return 0
+	case Const1:
+		return ^uint64(0)
+	case Buf:
+		return in[0]
+	case Not:
+		return ^in[0]
+	case And, Nand:
+		v := ^uint64(0)
+		for _, w := range in {
+			v &= w
+		}
+		if t == Nand {
+			v = ^v
+		}
+		return v
+	case Or, Nor:
+		v := uint64(0)
+		for _, w := range in {
+			v |= w
+		}
+		if t == Nor {
+			v = ^v
+		}
+		return v
+	case Xor, Xnor:
+		v := uint64(0)
+		for _, w := range in {
+			v ^= w
+		}
+		if t == Xnor {
+			v = ^v
+		}
+		return v
+	}
+	panic("network: evalGate on PI")
+}
+
+// Simulate runs 64 input patterns at once. piWords[i] holds the 64 values
+// of the i-th PI (in PIs order). The returned slice holds one word per
+// gate ID (gates outside the PO cone get computed too if reachable from
+// PIs; unreachable gates are zero).
+func (n *Network) Simulate(piWords []uint64) []uint64 {
+	if len(piWords) != len(n.PIs) {
+		panic("network: wrong number of PI words")
+	}
+	val := make([]uint64, len(n.Gates))
+	piIdx := make(map[int]int, len(n.PIs))
+	for i, id := range n.PIs {
+		piIdx[id] = i
+	}
+	for _, id := range n.TopoOrder() {
+		g := &n.Gates[id]
+		if g.Type == PI {
+			val[id] = piWords[piIdx[id]]
+			continue
+		}
+		in := make([]uint64, len(g.Fanins))
+		for i, f := range g.Fanins {
+			in[i] = val[f]
+		}
+		val[id] = evalGate(g.Type, in)
+	}
+	return val
+}
+
+// Eval evaluates the network on a single assignment (bit i of assign = PI
+// i's value) and returns one bool per PO.
+func (n *Network) Eval(assign cube.BitSet) []bool {
+	words := make([]uint64, len(n.PIs))
+	for i := range n.PIs {
+		if assign.Has(i) {
+			words[i] = 1
+		}
+	}
+	val := n.Simulate(words)
+	out := make([]bool, len(n.POs))
+	for i, po := range n.POs {
+		out[i] = val[po.Gate]&1 != 0
+	}
+	return out
+}
+
+// Stats holds the paper's pre-mapping cost metrics.
+type Stats struct {
+	Gates2 int // equivalent 2-input AND/OR gate count (XOR = 3, inverters free)
+	Lits   int // 2 × Gates2, the paper's "lits" column
+	XORs   int // XOR/XNOR gates in the network (as entities)
+	Total  int // gates of any type in the PO cone (excluding PIs)
+}
+
+// CollectStats computes the cost metrics over the PO cone.
+func (n *Network) CollectStats() Stats {
+	var s Stats
+	for _, id := range n.TopoOrder() {
+		g := &n.Gates[id]
+		switch g.Type {
+		case PI, Const0, Const1, Buf, Not:
+			if g.Type != PI {
+				s.Total++
+			}
+		case And, Or, Nand, Nor:
+			s.Total++
+			s.Gates2 += len(g.Fanins) - 1
+		case Xor, Xnor:
+			s.Total++
+			s.XORs++
+			s.Gates2 += 3 * (len(g.Fanins) - 1)
+		}
+	}
+	s.Lits = 2 * s.Gates2
+	return s
+}
+
+// Sweep simplifies the network structurally without changing its
+// function: constants are propagated, single-input AND/OR/XOR collapse to
+// buffers, buffer chains are bypassed, double negations cancel, and
+// duplicate XOR fanins cancel pairwise. Gates outside the PO cone remain
+// but are ignored by metrics. Returns the number of rewrites applied.
+func (n *Network) Sweep() int {
+	changed := 0
+	// resolve follows Buf chains to the real driver.
+	resolve := func(id int) int {
+		for n.Gates[id].Type == Buf {
+			id = n.Gates[id].Fanins[0]
+		}
+		return id
+	}
+	for _, id := range n.TopoOrder() {
+		g := &n.Gates[id]
+		if g.Type == PI || g.Type == Const0 || g.Type == Const1 {
+			continue
+		}
+		for i, f := range g.Fanins {
+			if r := resolve(f); r != f {
+				g.Fanins[i] = r
+				changed++
+			}
+		}
+		switch g.Type {
+		case Not:
+			f := &n.Gates[g.Fanins[0]]
+			switch f.Type {
+			case Const0:
+				g.Type, g.Fanins = Const1, nil
+				changed++
+			case Const1:
+				g.Type, g.Fanins = Const0, nil
+				changed++
+			case Not:
+				g.Type = Buf
+				g.Fanins = []int{f.Fanins[0]}
+				changed++
+			}
+		case And, Nand, Or, Nor:
+			isAnd := g.Type == And || g.Type == Nand
+			neg := g.Type == Nand || g.Type == Nor
+			kept := g.Fanins[:0]
+			killed := false
+			seen := map[int]bool{}
+			for _, f := range g.Fanins {
+				ft := n.Gates[f].Type
+				if isAnd && ft == Const1 || !isAnd && ft == Const0 {
+					changed++
+					continue // identity element
+				}
+				if isAnd && ft == Const0 || !isAnd && ft == Const1 {
+					killed = true // dominating element
+					break
+				}
+				if seen[f] {
+					changed++
+					continue // idempotent duplicate
+				}
+				seen[f] = true
+				kept = append(kept, f)
+			}
+			if killed {
+				if isAnd != neg { // And killed -> 0; Nor killed -> 0
+					g.Type, g.Fanins = Const0, nil
+				} else {
+					g.Type, g.Fanins = Const1, nil
+				}
+				changed++
+				continue
+			}
+			g.Fanins = kept
+			if len(g.Fanins) == 0 {
+				if isAnd != neg {
+					g.Type, g.Fanins = Const1, nil
+				} else {
+					g.Type, g.Fanins = Const0, nil
+				}
+				changed++
+			} else if len(g.Fanins) == 1 {
+				if neg {
+					g.Type = Not
+				} else {
+					g.Type = Buf
+				}
+				changed++
+			}
+		case Xor, Xnor:
+			// Cancel duplicate fanins pairwise; absorb constants.
+			invert := g.Type == Xnor
+			count := map[int]int{}
+			for _, f := range g.Fanins {
+				ft := n.Gates[f].Type
+				if ft == Const0 {
+					changed++
+					continue
+				}
+				if ft == Const1 {
+					invert = !invert
+					changed++
+					continue
+				}
+				count[f]++
+			}
+			var kept []int
+			for _, f := range g.Fanins {
+				if count[f] <= 0 {
+					continue
+				}
+				if count[f]%2 == 1 {
+					kept = append(kept, f)
+				} else {
+					changed++
+				}
+				count[f] = 0
+			}
+			g.Fanins = kept
+			switch len(g.Fanins) {
+			case 0:
+				if invert {
+					g.Type, g.Fanins = Const1, nil
+				} else {
+					g.Type, g.Fanins = Const0, nil
+				}
+				changed++
+			case 1:
+				if invert {
+					g.Type = Not
+				} else {
+					g.Type = Buf
+				}
+				changed++
+			default:
+				if invert {
+					g.Type = Xnor
+				} else {
+					g.Type = Xor
+				}
+			}
+		}
+	}
+	// Redirect POs through buffers.
+	for i := range n.POs {
+		if r := resolve(n.POs[i].Gate); r != n.POs[i].Gate {
+			n.POs[i].Gate = r
+			changed++
+		}
+	}
+	return changed
+}
+
+// Strash merges structurally identical gates (same type, same multiset of
+// fanins, commutativity respected) across the whole network, bottom-up.
+// Returns the number of gates merged away.
+func (n *Network) Strash() int {
+	repl := make([]int, len(n.Gates))
+	for i := range repl {
+		repl[i] = i
+	}
+	seen := make(map[string]int)
+	merged := 0
+	for _, id := range n.TopoOrder() {
+		g := &n.Gates[id]
+		if g.Type == PI {
+			continue
+		}
+		fins := make([]int, len(g.Fanins))
+		for i, f := range g.Fanins {
+			fins[i] = repl[f]
+		}
+		switch g.Type {
+		case And, Or, Nand, Nor, Xor, Xnor:
+			sort.Ints(fins)
+		}
+		g.Fanins = fins
+		key := fmt.Sprintf("%d:%v", g.Type, fins)
+		if prev, ok := seen[key]; ok {
+			repl[id] = prev
+			merged++
+		} else {
+			seen[key] = id
+		}
+	}
+	for i := range n.Gates {
+		for j, f := range n.Gates[i].Fanins {
+			n.Gates[i].Fanins[j] = repl[f]
+		}
+	}
+	for i := range n.POs {
+		n.POs[i].Gate = repl[n.POs[i].Gate]
+	}
+	return merged
+}
+
+// ToBDDs builds the BDD of every PO over a manager with one variable per
+// PI (in PIs order). Gates outside the PO cone are ignored.
+func (n *Network) ToBDDs(m *bdd.Manager) []bdd.Ref {
+	if m.NumVars() != len(n.PIs) {
+		panic("network: BDD manager size mismatch")
+	}
+	val := make([]bdd.Ref, len(n.Gates))
+	piIdx := make(map[int]int, len(n.PIs))
+	for i, id := range n.PIs {
+		piIdx[id] = i
+	}
+	for _, id := range n.TopoOrder() {
+		g := &n.Gates[id]
+		switch g.Type {
+		case PI:
+			val[id] = m.Var(piIdx[id])
+		case Const0:
+			val[id] = bdd.Zero
+		case Const1:
+			val[id] = bdd.One
+		case Buf:
+			val[id] = val[g.Fanins[0]]
+		case Not:
+			val[id] = m.Not(val[g.Fanins[0]])
+		case And, Nand:
+			v := bdd.One
+			for _, f := range g.Fanins {
+				v = m.And(v, val[f])
+			}
+			if g.Type == Nand {
+				v = m.Not(v)
+			}
+			val[id] = v
+		case Or, Nor:
+			v := bdd.Zero
+			for _, f := range g.Fanins {
+				v = m.Or(v, val[f])
+			}
+			if g.Type == Nor {
+				v = m.Not(v)
+			}
+			val[id] = v
+		case Xor, Xnor:
+			v := bdd.Zero
+			for _, f := range g.Fanins {
+				v = m.Xor(v, val[f])
+			}
+			if g.Type == Xnor {
+				v = m.Not(v)
+			}
+			val[id] = v
+		}
+	}
+	out := make([]bdd.Ref, len(n.POs))
+	for i, po := range n.POs {
+		out[i] = val[po.Gate]
+	}
+	return out
+}
+
+// BalancedTree builds a balanced tree of 2-input gates of type t over the
+// given operand gate IDs and returns the root ID. A single operand is
+// returned unchanged.
+func (n *Network) BalancedTree(t GateType, ids []int) int {
+	if len(ids) == 0 {
+		panic("network: BalancedTree of nothing")
+	}
+	for len(ids) > 1 {
+		var next []int
+		for i := 0; i+1 < len(ids); i += 2 {
+			next = append(next, n.AddGate(t, ids[i], ids[i+1]))
+		}
+		if len(ids)%2 == 1 {
+			next = append(next, ids[len(ids)-1])
+		}
+		ids = next
+	}
+	return ids[0]
+}
+
+// String renders a compact description of the network.
+func (n *Network) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "network %s: %d PIs, %d POs, %d gates\n", n.Name, len(n.PIs), len(n.POs), len(n.Gates))
+	for _, id := range n.TopoOrder() {
+		g := &n.Gates[id]
+		if g.Type == PI {
+			fmt.Fprintf(&b, "  g%d = PI %s\n", id, g.Name)
+		} else {
+			fmt.Fprintf(&b, "  g%d = %v%v\n", id, g.Type, g.Fanins)
+		}
+	}
+	for _, po := range n.POs {
+		fmt.Fprintf(&b, "  PO %s = g%d\n", po.Name, po.Gate)
+	}
+	return b.String()
+}

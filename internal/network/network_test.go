@@ -1,0 +1,358 @@
+package network
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bdd"
+	"repro/internal/cube"
+)
+
+// buildFullAdder returns a 3-in 2-out full adder network.
+func buildFullAdder() *Network {
+	n := New("fa")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	c := n.AddPI("cin")
+	sum := n.AddGate(Xor, a, b, c)
+	carry := n.AddGate(Or, n.AddGate(And, a, b), n.AddGate(And, c, n.AddGate(Xor, a, b)))
+	n.AddPO("sum", sum)
+	n.AddPO("cout", carry)
+	return n
+}
+
+func TestFullAdderEval(t *testing.T) {
+	n := buildFullAdder()
+	for a := 0; a < 8; a++ {
+		assign := cube.NewBitSet(3)
+		ones := 0
+		for v := 0; v < 3; v++ {
+			if a&(1<<v) != 0 {
+				assign.Set(v)
+				ones++
+			}
+		}
+		out := n.Eval(assign)
+		if out[0] != (ones%2 == 1) {
+			t.Errorf("sum(%03b) = %v", a, out[0])
+		}
+		if out[1] != (ones >= 2) {
+			t.Errorf("cout(%03b) = %v", a, out[1])
+		}
+	}
+}
+
+func TestSimulateParallel(t *testing.T) {
+	n := buildFullAdder()
+	// Apply all 8 input combinations in one 64-bit word simulation.
+	pi := make([]uint64, 3)
+	for a := 0; a < 8; a++ {
+		for v := 0; v < 3; v++ {
+			if a&(1<<v) != 0 {
+				pi[v] |= 1 << uint(a)
+			}
+		}
+	}
+	val := n.Simulate(pi)
+	sum := val[n.POs[0].Gate]
+	cout := val[n.POs[1].Gate]
+	if sum&0xFF != 0b10010110 {
+		t.Errorf("sum word = %08b", sum&0xFF)
+	}
+	if cout&0xFF != 0b11101000 {
+		t.Errorf("cout word = %08b", cout&0xFF)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	n := buildFullAdder()
+	pos := make(map[int]int)
+	for i, id := range n.TopoOrder() {
+		pos[id] = i
+	}
+	for _, g := range n.Gates {
+		for _, f := range g.Fanins {
+			if pos[f] >= pos[g.ID] {
+				t.Fatalf("gate %d before its fanin %d", g.ID, f)
+			}
+		}
+	}
+}
+
+func TestStatsXORCosting(t *testing.T) {
+	n := New("x")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	x := n.AddGate(Xor, a, b)
+	n.AddPO("o", x)
+	s := n.CollectStats()
+	// One 2-input XOR = 3 AND/OR gates = 6 lits (paper, Example 1).
+	if s.Gates2 != 3 || s.Lits != 6 || s.XORs != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	// A 3-input AND = 2 two-input gates.
+	m := New("a3")
+	p := m.AddPI("p")
+	q := m.AddPI("q")
+	r := m.AddPI("r")
+	m.AddPO("o", m.AddGate(And, p, q, r))
+	s2 := m.CollectStats()
+	if s2.Gates2 != 2 || s2.Lits != 4 {
+		t.Errorf("and3 stats = %+v", s2)
+	}
+}
+
+func TestStatsIgnoresDanglingGates(t *testing.T) {
+	n := New("d")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	n.AddGate(And, a, b) // dangling
+	n.AddPO("o", a)
+	if s := n.CollectStats(); s.Gates2 != 0 {
+		t.Errorf("dangling gate counted: %+v", s)
+	}
+}
+
+func TestSweepConstants(t *testing.T) {
+	n := New("s")
+	a := n.AddPI("a")
+	one := n.AddGate(Const1)
+	zero := n.AddGate(Const0)
+	and := n.AddGate(And, a, one)  // = a
+	or := n.AddGate(Or, and, zero) // = a
+	x := n.AddGate(Xor, or, zero)  // = a
+	n.AddPO("o", x)
+	n.Sweep()
+	if n.POs[0].Gate != a {
+		t.Errorf("sweep did not reduce to the PI; PO gate = %d (%v)", n.POs[0].Gate, n.Gates[n.POs[0].Gate].Type)
+	}
+}
+
+func TestSweepDominatingConstant(t *testing.T) {
+	n := New("s")
+	a := n.AddPI("a")
+	zero := n.AddGate(Const0)
+	and := n.AddGate(And, a, zero)
+	n.AddPO("o", and)
+	n.Sweep()
+	if n.Gates[n.POs[0].Gate].Type != Const0 {
+		t.Errorf("AND with 0 should become Const0, got %v", n.Gates[n.POs[0].Gate].Type)
+	}
+}
+
+func TestSweepXorCancellation(t *testing.T) {
+	n := New("s")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	x := n.AddGate(Xor, a, b, a) // = b
+	n.AddPO("o", x)
+	n.Sweep()
+	if n.POs[0].Gate != b {
+		t.Errorf("a^b^a should sweep to b")
+	}
+}
+
+func TestSweepDoubleNegation(t *testing.T) {
+	n := New("s")
+	a := n.AddPI("a")
+	nn := n.AddGate(Not, n.AddGate(Not, a))
+	n.AddPO("o", nn)
+	n.Sweep()
+	if n.POs[0].Gate != a {
+		t.Error("double negation should sweep to the PI")
+	}
+}
+
+func TestStrashMergesDuplicates(t *testing.T) {
+	n := New("h")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	g1 := n.AddGate(And, a, b)
+	g2 := n.AddGate(And, b, a) // same gate, commuted
+	x := n.AddGate(Xor, g1, g2)
+	n.AddPO("o", x)
+	merged := n.Strash()
+	if merged != 1 {
+		t.Errorf("merged = %d, want 1", merged)
+	}
+	n.Sweep() // xor of identical fanins -> const0
+	if n.Gates[n.POs[0].Gate].Type != Const0 {
+		t.Errorf("strash+sweep should give Const0, got %v", n.Gates[n.POs[0].Gate].Type)
+	}
+}
+
+func TestToBDDsMatchesEval(t *testing.T) {
+	n := buildFullAdder()
+	m := bdd.New(3)
+	outs := n.ToBDDs(m)
+	for a := 0; a < 8; a++ {
+		assign := cube.NewBitSet(3)
+		for v := 0; v < 3; v++ {
+			if a&(1<<v) != 0 {
+				assign.Set(v)
+			}
+		}
+		ev := n.Eval(assign)
+		for i, f := range outs {
+			if m.Eval(f, assign) != ev[i] {
+				t.Fatalf("BDD/eval mismatch at %03b output %d", a, i)
+			}
+		}
+	}
+}
+
+func TestBalancedTree(t *testing.T) {
+	n := New("t")
+	var ids []int
+	for i := 0; i < 7; i++ {
+		ids = append(ids, n.AddPI("p"))
+	}
+	root := n.BalancedTree(Xor, ids)
+	n.AddPO("o", root)
+	// 7-input parity via 6 two-input XORs.
+	count := 0
+	for _, id := range n.TopoOrder() {
+		if n.Gates[id].Type == Xor {
+			count++
+		}
+	}
+	if count != 6 {
+		t.Errorf("balanced tree has %d XORs, want 6", count)
+	}
+	// Depth should be ceil(log2(7)) = 3.
+	depth := make([]int, len(n.Gates))
+	for _, id := range n.TopoOrder() {
+		for _, f := range n.Gates[id].Fanins {
+			if depth[f]+1 > depth[id] {
+				depth[id] = depth[f] + 1
+			}
+		}
+	}
+	if depth[root] != 3 {
+		t.Errorf("tree depth = %d, want 3", depth[root])
+	}
+}
+
+func randomNetwork(rng *rand.Rand, nPIs, nGates int) *Network {
+	n := New("r")
+	for i := 0; i < nPIs; i++ {
+		n.AddPI("")
+	}
+	types := []GateType{And, Or, Xor, Nand, Nor, Not, Xnor}
+	for i := 0; i < nGates; i++ {
+		t := types[rng.Intn(len(types))]
+		k := 1
+		if t != Not {
+			k = 2 + rng.Intn(2)
+		}
+		fanins := make([]int, k)
+		for j := range fanins {
+			fanins[j] = rng.Intn(len(n.Gates))
+		}
+		n.AddGate(t, fanins...)
+	}
+	n.AddPO("o", len(n.Gates)-1)
+	n.AddPO("p", len(n.Gates)-1-rng.Intn(nGates/2+1))
+	return n
+}
+
+// Property: Sweep and Strash preserve the network function.
+func TestQuickSweepStrashPreserve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nPIs := 3 + rng.Intn(3)
+		n := randomNetwork(rng, nPIs, 5+rng.Intn(15))
+		m := bdd.New(nPIs)
+		before := n.ToBDDs(m)
+		n.Sweep()
+		n.Strash()
+		n.Sweep()
+		after := n.ToBDDs(m)
+		for i := range before {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BLIF write/read round-trips the function.
+func TestQuickBLIFRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nPIs := 3 + rng.Intn(3)
+		n := randomNetwork(rng, nPIs, 4+rng.Intn(10))
+		// Name PIs uniquely for BLIF.
+		for i, pi := range n.PIs {
+			n.Gates[pi].Name = "in" + string(rune('a'+i))
+		}
+		var buf bytes.Buffer
+		if err := n.WriteBLIF(&buf); err != nil {
+			return false
+		}
+		back, err := ReadBLIF(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back.PIs) != len(n.PIs) || len(back.POs) != len(n.POs) {
+			return false
+		}
+		m := bdd.New(nPIs)
+		a := n.ToBDDs(m)
+		b := back.ToBDDs(m)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadBLIFConstAndComplement(t *testing.T) {
+	src := `
+.model c
+.inputs a b
+.outputs z k
+# z = complement of a*b via 0-phase rows
+.names a b z
+11 0
+.names k
+1
+.end
+`
+	n, err := ReadBLIF(bytes.NewBufferString(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := cube.NewBitSet(2)
+	assign.Set(0)
+	assign.Set(1)
+	out := n.Eval(assign)
+	if out[0] != false || out[1] != true {
+		t.Errorf("eval = %v, want [false true]", out)
+	}
+	assign2 := cube.NewBitSet(2)
+	out2 := n.Eval(assign2)
+	if out2[0] != true {
+		t.Error("NAND(0,0) should be 1")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := buildFullAdder()
+	c := n.Clone()
+	c.Gates[3].Type = And
+	if n.Gates[3].Type == And {
+		t.Error("clone shares gate storage")
+	}
+}

@@ -1,0 +1,270 @@
+package ofdd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bdd"
+	"repro/internal/cube"
+)
+
+func assignOf(n, a int) cube.BitSet {
+	s := cube.NewBitSet(n)
+	for v := 0; v < n; v++ {
+		if a&(1<<v) != 0 {
+			s.Set(v)
+		}
+	}
+	return s
+}
+
+func TestLitAndCube(t *testing.T) {
+	m := New(3, nil)
+	x0 := m.Lit(0)
+	if m.TopVar(x0) != 0 || m.Lo(x0) != Zero || m.Hi(x0) != One {
+		t.Error("Lit(0) malformed")
+	}
+	c := m.FromCube(cube.New(3, 0, 2))
+	// x0*x2: true only when both set.
+	for a := 0; a < 8; a++ {
+		want := a&1 != 0 && a&4 != 0
+		if got := m.Eval(c, assignOf(3, a)); got != want {
+			t.Errorf("x0x2(%03b) = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestXorSemantics(t *testing.T) {
+	m := New(2, nil)
+	f := m.Xor(m.Lit(0), m.Lit(1))
+	for a := 0; a < 4; a++ {
+		want := (a&1 != 0) != (a&2 != 0)
+		if got := m.Eval(f, assignOf(2, a)); got != want {
+			t.Errorf("xor(%02b) = %v, want %v", a, got, want)
+		}
+	}
+	if m.Xor(f, f) != Zero {
+		t.Error("f ⊕ f != 0")
+	}
+	if m.Xor(f, Zero) != f {
+		t.Error("f ⊕ 0 != f")
+	}
+}
+
+func TestDavioReductionRule(t *testing.T) {
+	m := New(2, nil)
+	// mk with hi=Zero must not create a node; exercised via Xor cancelling.
+	f := m.Xor(m.Lit(0), m.Lit(0))
+	if f != Zero {
+		t.Error("cancelled literal should be Zero")
+	}
+}
+
+// TestFigure1OFDD reproduces Figure 1 of the paper:
+// f = x̄₁ ⊕ x̄₁x₃ ⊕ x̄₁x₂ ⊕ x̄₁x₂x₃ ⊕ x₃ ⊕ x₂  with polarity V = (0 1 1).
+// Paper variables x₁,x₂,x₃ map to indices 0,1,2.
+func TestFigure1OFDD(t *testing.T) {
+	pol := []bool{false, true, true}
+	m := New(3, pol)
+	l := cube.NewList(3)
+	l.Add(cube.New(3, 0))       // x̄₁
+	l.Add(cube.New(3, 0, 2))    // x̄₁x₃
+	l.Add(cube.New(3, 0, 1))    // x̄₁x₂
+	l.Add(cube.New(3, 0, 1, 2)) // x̄₁x₂x₃
+	l.Add(cube.New(3, 2))       // x₃
+	l.Add(cube.New(3, 1))       // x₂
+	f := m.FromCubes(l)
+
+	if got := m.CubeCount(f); got != 6 {
+		t.Errorf("CubeCount = %d, want 6", got)
+	}
+	back := m.Cubes(f, 0)
+	if !back.Equal(l) {
+		t.Errorf("extracted cubes differ:\n got %s\nwant %s", back, l)
+	}
+	// Functional check against direct evaluation of the formula.
+	direct := func(a int) bool {
+		x1 := a&1 != 0
+		x2 := a&2 != 0
+		x3 := a&4 != 0
+		v := !x1
+		v = v != (!x1 && x3)
+		v = v != (!x1 && x2)
+		v = v != (!x1 && x2 && x3)
+		v = v != x3
+		v = v != x2
+		return v
+	}
+	for a := 0; a < 8; a++ {
+		if got := m.Eval(f, assignOf(3, a)); got != direct(a) {
+			t.Errorf("f(%03b) = %v, want %v", a, got, direct(a))
+		}
+	}
+	// Same function via the BDD route must give the identical node
+	// (canonicity for fixed order + polarity).
+	bm := bdd.New(3)
+	var g bdd.Ref = bdd.Zero
+	for a := 0; a < 8; a++ {
+		if direct(a) {
+			p := bdd.One
+			for v := 0; v < 3; v++ {
+				if a&(1<<v) != 0 {
+					p = bm.And(p, bm.Var(v))
+				} else {
+					p = bm.And(p, bm.Not(bm.Var(v)))
+				}
+			}
+			g = bm.Or(g, p)
+		}
+	}
+	if m.FromBDD(bm, g) != f {
+		t.Error("FromBDD and FromCubes disagree on canonical node")
+	}
+	dump := m.Dump(f)
+	if !strings.Contains(dump, "x0(-)") {
+		t.Errorf("dump should show negative polarity on x0:\n%s", dump)
+	}
+}
+
+func TestPPRMKnownForms(t *testing.T) {
+	// AND: x0x1 has exactly one PPRM cube.
+	m := New(2, nil)
+	bm := bdd.New(2)
+	and := m.FromBDD(bm, bm.And(bm.Var(0), bm.Var(1)))
+	if got := m.CubeCount(and); got != 1 {
+		t.Errorf("PPRM cubes of AND = %d, want 1", got)
+	}
+	// OR: x0+x1 = x0 ⊕ x1 ⊕ x0x1: three cubes.
+	or := m.FromBDD(bm, bm.Or(bm.Var(0), bm.Var(1)))
+	if got := m.CubeCount(or); got != 3 {
+		t.Errorf("PPRM cubes of OR = %d, want 3", got)
+	}
+	// XOR: two cubes.
+	xor := m.FromBDD(bm, bm.Xor(bm.Var(0), bm.Var(1)))
+	if got := m.CubeCount(xor); got != 2 {
+		t.Errorf("PPRM cubes of XOR = %d, want 2", got)
+	}
+}
+
+func TestNegativePolarityOR(t *testing.T) {
+	// With both variables negative, x0+x1 = 1 ⊕ x̄0x̄1: two cubes.
+	m := New(2, []bool{false, false})
+	bm := bdd.New(2)
+	or := m.FromBDD(bm, bm.Or(bm.Var(0), bm.Var(1)))
+	if got := m.CubeCount(or); got != 2 {
+		t.Errorf("negative-polarity cubes of OR = %d, want 2", got)
+	}
+	cubes := m.Cubes(or, 0)
+	// Expect the constant-1 cube and the cube {0,1}.
+	hasOne, hasBoth := false, false
+	for _, c := range cubes.Cubes {
+		if c.IsOne() {
+			hasOne = true
+		}
+		if c.Size() == 2 {
+			hasBoth = true
+		}
+	}
+	if !hasOne || !hasBoth {
+		t.Errorf("unexpected cube shapes: %s", cubes)
+	}
+}
+
+// Property: for random functions and random polarities, the OFDD built
+// from the BDD evaluates identically to the BDD, and extracting cubes and
+// rebuilding gives the same canonical node.
+func TestQuickBDDRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		pol := make([]bool, n)
+		for i := range pol {
+			pol[i] = rng.Intn(2) == 1
+		}
+		bm := bdd.New(n)
+		var g bdd.Ref = bdd.Zero
+		for a := 0; a < 1<<n; a++ {
+			if rng.Intn(2) == 1 {
+				p := bdd.One
+				for v := 0; v < n; v++ {
+					if a&(1<<v) != 0 {
+						p = bm.And(p, bm.Var(v))
+					} else {
+						p = bm.And(p, bm.Not(bm.Var(v)))
+					}
+				}
+				g = bm.Or(g, p)
+			}
+		}
+		m := New(n, pol)
+		f1 := m.FromBDD(bm, g)
+		// Evaluation agreement.
+		for a := 0; a < 1<<n; a++ {
+			if m.Eval(f1, assignOf(n, a)) != bm.Eval(g, assignOf(n, a)) {
+				return false
+			}
+		}
+		// Cube extraction round trip.
+		if m.FromCubes(m.Cubes(f1, 0)) != f1 {
+			return false
+		}
+		// ToBDD round trip.
+		if m.ToBDD(bm)(f1) != g {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCubesLimitPanics(t *testing.T) {
+	m := New(4, nil)
+	bm := bdd.New(4)
+	or := bm.Var(0)
+	for v := 1; v < 4; v++ {
+		or = bm.Or(or, bm.Var(v))
+	}
+	f := m.FromBDD(bm, or) // PPRM of 4-var OR has 15 cubes
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when cube count exceeds limit")
+		}
+	}()
+	m.Cubes(f, 3)
+}
+
+func TestNodeCount(t *testing.T) {
+	m := New(3, nil)
+	bm := bdd.New(3)
+	f := m.FromBDD(bm, bm.Xor(bm.Xor(bm.Var(0), bm.Var(1)), bm.Var(2)))
+	// Parity OFDD: one node per variable.
+	if got := m.NodeCount(f); got != 3 {
+		t.Errorf("NodeCount(parity3) = %d, want 3", got)
+	}
+}
+
+// Adder carry chain: FPRM cube counts follow N_k = 2·N_{k-1} + 1, matching
+// the paper's z4ml observation (32 cubes total for the 3-bit adder).
+func TestAdderCubeCounts(t *testing.T) {
+	// Variables: a1 b1 a2 b2 a3 b3 cin = 0..6 (order chosen arbitrarily).
+	n := 7
+	bm := bdd.New(n)
+	a := []bdd.Ref{bm.Var(0), bm.Var(2), bm.Var(4)}
+	b := []bdd.Ref{bm.Var(1), bm.Var(3), bm.Var(5)}
+	carry := bm.Var(6)
+	m := New(n, nil)
+	total := int64(0)
+	for k := 0; k < 3; k++ {
+		sum := bm.Xor(bm.Xor(a[k], b[k]), carry)
+		carry = bm.Or(bm.And(a[k], b[k]), bm.And(carry, bm.Xor(a[k], b[k])))
+		total += m.CubeCount(m.FromBDD(bm, sum))
+	}
+	total += m.CubeCount(m.FromBDD(bm, carry))
+	if total != 32 {
+		t.Errorf("z4ml FPRM cube total = %d, want 32 (paper, Section 1)", total)
+	}
+}

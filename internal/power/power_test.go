@@ -1,0 +1,98 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/techmap"
+)
+
+func TestEstimateSingleAnd(t *testing.T) {
+	net := network.New("a")
+	a := net.AddPI("a")
+	b := net.AddPI("b")
+	g := net.AddGate(network.And, a, b)
+	net.AddPO("o", g)
+	rep := EstimateNetwork(net)
+	// Signals: a (load 1, act 0.5), b (load 1, act 0.5),
+	// g (load 1 via PO, p=1/4 → act 2·(1/4)·(3/4)=3/8).
+	want := 0.5 + 0.5 + 0.375
+	if math.Abs(rep.Total-want) > 1e-9 {
+		t.Errorf("Total = %v, want %v", rep.Total, want)
+	}
+	if rep.Signals != 3 {
+		t.Errorf("Signals = %d, want 3", rep.Signals)
+	}
+}
+
+func TestXorActivityHigherThanAnd(t *testing.T) {
+	mk := func(ty network.GateType) float64 {
+		net := network.New("x")
+		a := net.AddPI("a")
+		b := net.AddPI("b")
+		net.AddPO("o", net.AddGate(ty, a, b))
+		return EstimateNetwork(net).Total
+	}
+	// XOR output has p=1/2 → act 1/2 > AND's 3/8; same PI terms.
+	if mk(network.Xor) <= mk(network.And) {
+		t.Error("XOR output should switch more than AND output")
+	}
+}
+
+func TestFanoutWeighting(t *testing.T) {
+	// The same signal driving two gates must count double.
+	net1 := network.New("f1")
+	a := net1.AddPI("a")
+	b := net1.AddPI("b")
+	g := net1.AddGate(network.And, a, b)
+	net1.AddPO("o1", net1.AddGate(network.Not, g))
+	net1.AddPO("o2", net1.AddGate(network.Not, g))
+	net2 := network.New("f2")
+	a2 := net2.AddPI("a")
+	b2 := net2.AddPI("b")
+	g2 := net2.AddGate(network.And, a2, b2)
+	net2.AddPO("o1", net2.AddGate(network.Not, g2))
+	r1 := EstimateNetwork(net1)
+	r2 := EstimateNetwork(net2)
+	if r1.Total <= r2.Total {
+		t.Errorf("double fanout should cost more: %v vs %v", r1.Total, r2.Total)
+	}
+}
+
+func TestEstimateMappedMatchesStructure(t *testing.T) {
+	net := network.New("m")
+	var ids []int
+	for i := 0; i < 4; i++ {
+		ids = append(ids, net.AddPI(""))
+	}
+	x := net.BalancedTree(network.Xor, ids)
+	net.AddPO("o", x)
+	res, err := techmap.Map(net, techmap.Library())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := EstimateMapped(res)
+	if rep.Total <= 0 {
+		t.Fatal("no power estimated")
+	}
+	// 3 xor cells: internal xor outputs have p=1/2 (act=1/2);
+	// 4 PIs with load 1 (act 1/2 each) + 2 internal (load 1) + root (PO).
+	want := 4*0.5 + 2*0.5 + 0.5
+	if math.Abs(rep.Total-want) > 1e-9 {
+		t.Errorf("Total = %v, want %v", rep.Total, want)
+	}
+}
+
+func TestConstantSignalNoPower(t *testing.T) {
+	net := network.New("c")
+	a := net.AddPI("a")
+	g := net.AddGate(network.And, a, net.AddGate(network.Not, a)) // constant 0
+	net.AddPO("o", g)
+	rep := EstimateNetwork(net)
+	// The constant-0 AND output has activity 0; what remains is
+	// a (load 2: the AND and the NOT) and ā (load 1): 2·0.5 + 0.5.
+	if math.Abs(rep.Total-1.5) > 1e-9 {
+		t.Errorf("Total = %v, want 1.5 (constant net contributes 0)", rep.Total)
+	}
+}

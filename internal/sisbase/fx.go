@@ -1,0 +1,350 @@
+package sisbase
+
+import (
+	"sort"
+
+	"repro/internal/sop"
+)
+
+// Divide performs weak (algebraic) division of cover f by divisor d over
+// the global signal space: f = d·q + r with support(d) ∩ support(q) = ∅.
+// An empty quotient means the division found nothing.
+func Divide(f, d *sop.Cover) (q, r *sop.Cover) {
+	capSig := f.NumVars
+	q = sop.NewCover(capSig)
+	r = sop.NewCover(capSig)
+	if len(d.Terms) == 0 {
+		r = f.Clone()
+		return q, r
+	}
+	dsup := d.Support()
+	var qKeys map[string]sop.Term
+	for _, dt := range d.Terms {
+		cur := make(map[string]sop.Term)
+		for _, t := range f.Terms {
+			if !dt.Pos.SubsetOf(t.Pos) || !dt.Neg.SubsetOf(t.Neg) {
+				continue
+			}
+			qt := t.Clone()
+			qt.Pos.DifferenceWith(dt.Pos)
+			qt.Neg.DifferenceWith(dt.Neg)
+			// Algebraic division: the quotient must not share support
+			// with the divisor.
+			if qt.Pos.Intersects(dsup) || qt.Neg.Intersects(dsup) {
+				continue
+			}
+			cur[qt.Key()] = qt
+		}
+		if qKeys == nil {
+			qKeys = cur
+		} else {
+			for k := range qKeys {
+				if _, ok := cur[k]; !ok {
+					delete(qKeys, k)
+				}
+			}
+		}
+		if len(qKeys) == 0 {
+			return sop.NewCover(capSig), f.Clone()
+		}
+	}
+	covered := make(map[string]bool)
+	for _, qt := range qKeys {
+		q.Add(qt.Clone())
+		for _, dt := range d.Terms {
+			p := qt.Clone()
+			p.Pos.UnionWith(dt.Pos)
+			p.Neg.UnionWith(dt.Neg)
+			covered[p.Key()] = true
+		}
+	}
+	for _, t := range f.Terms {
+		if !covered[t.Key()] {
+			r.Add(t.Clone())
+		}
+	}
+	return q, r
+}
+
+// litKey encodes a (variable, phase) literal.
+type litKey struct {
+	v   int
+	pos bool
+}
+
+// divisorCand is a candidate divisor found during fast extract.
+type divisorCand struct {
+	cover *sop.Cover
+	value int
+	key   string
+}
+
+// FastExtract repeatedly extracts the best single-cube (two-literal) or
+// double-cube divisor until none has positive value (the fx command of
+// SIS, after Rajski/Vasudevamurthy).
+func (n *Net) FastExtract() {
+	for iter := 0; iter < 200; iter++ {
+		best := n.bestDivisor()
+		if best == nil || best.value <= 0 {
+			return
+		}
+		nd := n.newNode(best.cover)
+		// The complement of a 2-cube divisor is itself small (e.g. the
+		// complement of a'b+ab' is ab+a'b'); dividing by it lets hosts use
+		// the node's negative literal — this is what reconstructs XOR
+		// structure inside an AND/OR network, as SIS fast_extract does.
+		var comp *sop.Cover
+		if len(best.cover.Terms) == 2 {
+			c := best.cover.Complement()
+			if len(c.Terms) <= 2 {
+				comp = c
+			}
+		}
+		// Substitute into every node where it (or its complement) divides.
+		for _, id := range n.liveOrder() {
+			host := n.Nodes[id]
+			if host.ID == nd.ID || host.IsPI || host.Dead {
+				continue
+			}
+			q, r := Divide(host.Cover, best.cover)
+			if len(q.Terms) > 0 {
+				out := sop.NewCover(n.sigCap)
+				for _, qt := range q.Terms {
+					t := qt.Clone()
+					t.SetPos(nd.ID)
+					out.Add(t)
+				}
+				out.Terms = append(out.Terms, r.Terms...)
+				host.Cover = out
+			}
+			if comp == nil {
+				continue
+			}
+			q, r = Divide(host.Cover, comp)
+			if len(q.Terms) > 0 {
+				newLits := q.Literals() + len(q.Terms) + r.Literals()
+				if newLits < host.Cover.Literals() {
+					out := sop.NewCover(n.sigCap)
+					for _, qt := range q.Terms {
+						t := qt.Clone()
+						t.SetNeg(nd.ID)
+						out.Add(t)
+					}
+					out.Terms = append(out.Terms, r.Terms...)
+					host.Cover = out
+				}
+			}
+		}
+	}
+}
+
+// bestDivisor scans all node covers for the highest-value single-cube
+// pair divisor or double-cube divisor.
+func (n *Net) bestDivisor() *divisorCand {
+	live := n.liveOrder()
+	// Single-cube candidates: co-occurring literal pairs.
+	pairCount := make(map[[2]litKey]int)
+	// Double-cube candidates keyed canonically.
+	dcCount := make(map[string]int)
+	dcRepr := make(map[string]*sop.Cover)
+	dcLits := make(map[string]int)
+
+	for _, id := range live {
+		c := n.Nodes[id].Cover
+		for ti, t := range c.Terms {
+			lits := termLits(t)
+			for i := 0; i < len(lits); i++ {
+				for j := i + 1; j < len(lits); j++ {
+					k := [2]litKey{lits[i], lits[j]}
+					pairCount[k]++
+				}
+			}
+			// Double-cube: pair with later terms of the same node.
+			for tj := ti + 1; tj < len(c.Terms); tj++ {
+				u := c.Terms[tj]
+				d, ok := doubleCubeDivisor(n.sigCap, t, u)
+				if !ok {
+					continue
+				}
+				key := d.Terms[0].Key() + "/" + d.Terms[1].Key()
+				if d.Terms[1].Key() < d.Terms[0].Key() {
+					key = d.Terms[1].Key() + "/" + d.Terms[0].Key()
+				}
+				dcCount[key]++
+				if _, seen := dcRepr[key]; !seen {
+					dcRepr[key] = d
+					dcLits[key] = d.Literals()
+				}
+			}
+		}
+	}
+
+	var best *divisorCand
+	consider := func(c *divisorCand) {
+		if best == nil || c.value > best.value || (c.value == best.value && c.key < best.key) {
+			best = c
+		}
+	}
+	for k, cnt := range pairCount {
+		if cnt < 2 {
+			continue
+		}
+		// Extracting a 2-literal cube used in cnt terms: each use shrinks
+		// by one literal; the new node costs 2 literals.
+		value := cnt - 2
+		if value <= 0 {
+			continue
+		}
+		c := sop.NewCover(n.sigCap)
+		t := sop.NewTerm(n.sigCap)
+		setLit(&t, k[0])
+		setLit(&t, k[1])
+		c.Add(t)
+		consider(&divisorCand{cover: c, value: value, key: t.Key()})
+	}
+	for key, cnt := range dcCount {
+		if cnt < 2 {
+			continue
+		}
+		lits := dcLits[key]
+		// Each of cnt uses replaces lits literals (plus its base copies)
+		// by one; the node itself costs lits.
+		value := (cnt-1)*lits - cnt
+		if value <= 0 {
+			continue
+		}
+		consider(&divisorCand{cover: dcRepr[key], value: value, key: key})
+	}
+	return best
+}
+
+// doubleCubeDivisor returns the 2-term divisor obtained by removing the
+// common literals ("base") from a term pair, or ok=false when degenerate
+// (one term contains the other, or both remainders are empty).
+func doubleCubeDivisor(capSig int, a, b sop.Term) (*sop.Cover, bool) {
+	basePos := a.Pos.Clone()
+	basePos.IntersectWith(b.Pos)
+	baseNeg := a.Neg.Clone()
+	baseNeg.IntersectWith(b.Neg)
+	ra := a.Clone()
+	ra.Pos.DifferenceWith(basePos)
+	ra.Neg.DifferenceWith(baseNeg)
+	rb := b.Clone()
+	rb.Pos.DifferenceWith(basePos)
+	rb.Neg.DifferenceWith(baseNeg)
+	if ra.Literals() == 0 || rb.Literals() == 0 {
+		return nil, false
+	}
+	// The two remainder cubes must not share a variable (else the pair is
+	// not an algebraic divisor of anything through weak division).
+	raSup := ra.Pos.Clone()
+	raSup.UnionWith(ra.Neg)
+	rbSup := rb.Pos.Clone()
+	rbSup.UnionWith(rb.Neg)
+	if raSup.Intersects(rbSup) {
+		return nil, false
+	}
+	c := sop.NewCover(capSig)
+	c.Add(ra)
+	c.Add(rb)
+	return c, true
+}
+
+func termLits(t sop.Term) []litKey {
+	var out []litKey
+	t.Pos.ForEach(func(v int) { out = append(out, litKey{v, true}) })
+	t.Neg.ForEach(func(v int) { out = append(out, litKey{v, false}) })
+	return out
+}
+
+func setLit(t *sop.Term, k litKey) {
+	if k.pos {
+		t.SetPos(k.v)
+	} else {
+		t.SetNeg(k.v)
+	}
+}
+
+// Resub tries every existing node as an algebraic divisor of every other
+// node (SIS resub, positive phase).
+func (n *Net) Resub() {
+	order := n.liveOrder()
+	// Precompute supports and transitive fanin sets to avoid cycles.
+	sup := make(map[int]map[int]bool)
+	var tfi func(int, map[int]bool)
+	tfi = func(id int, acc map[int]bool) {
+		if acc[id] {
+			return
+		}
+		acc[id] = true
+		nd := n.Nodes[id]
+		if nd.IsPI || nd.Cover == nil {
+			return
+		}
+		nd.Cover.Support().ForEach(func(v int) { tfi(v, acc) })
+	}
+	for _, id := range order {
+		acc := make(map[int]bool)
+		tfi(id, acc)
+		sup[id] = acc
+	}
+	divisors := append([]int(nil), order...)
+	sort.Slice(divisors, func(a, b int) bool {
+		return n.Nodes[divisors[a]].Cover.Literals() > n.Nodes[divisors[b]].Cover.Literals()
+	})
+	for _, target := range order {
+		tn := n.Nodes[target]
+		if tn.Dead || len(tn.Cover.Terms) < 2 {
+			continue
+		}
+		for _, div := range divisors {
+			if div == target || n.Nodes[div].Dead {
+				continue
+			}
+			dn := n.Nodes[div]
+			if len(dn.Cover.Terms) < 2 {
+				continue // single cubes handled by fx
+			}
+			// Avoid creating a cycle: the divisor must not depend on the
+			// target.
+			if sup[div][target] {
+				continue
+			}
+			// Positive phase.
+			q, r := Divide(tn.Cover, dn.Cover)
+			if len(q.Terms) > 0 {
+				newLits := q.Literals() + len(q.Terms) + r.Literals()
+				if newLits < tn.Cover.Literals() {
+					out := sop.NewCover(n.sigCap)
+					for _, qt := range q.Terms {
+						t := qt.Clone()
+						t.SetPos(div)
+						out.Add(t)
+					}
+					out.Terms = append(out.Terms, r.Terms...)
+					tn.Cover = out
+				}
+			}
+			// Negative phase, when the complement stays small.
+			if len(dn.Cover.Terms) <= 3 {
+				comp := dn.Cover.Complement()
+				if len(comp.Terms) <= 3 {
+					q, r = Divide(tn.Cover, comp)
+					if len(q.Terms) > 0 {
+						newLits := q.Literals() + len(q.Terms) + r.Literals()
+						if newLits < tn.Cover.Literals() {
+							out := sop.NewCover(n.sigCap)
+							for _, qt := range q.Terms {
+								t := qt.Clone()
+								t.SetNeg(div)
+								out.Add(t)
+							}
+							out.Terms = append(out.Terms, r.Terms...)
+							tn.Cover = out
+						}
+					}
+				}
+			}
+		}
+	}
+}

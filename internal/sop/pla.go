@@ -1,0 +1,165 @@
+package sop
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PLA is a multi-output two-level description in Berkeley/espresso PLA
+// format (type fd: a '1' output marks the ON-set; '0' and '~' positions
+// are unspecified and read as OFF here).
+type PLA struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	InNames []string
+	OutName []string
+	// Covers holds one ON-set cover per output.
+	Covers []*Cover
+}
+
+// ParsePLA reads an espresso-format PLA file.
+func ParsePLA(r io.Reader) (*PLA, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	p := &PLA{Inputs: -1, Outputs: -1}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".i":
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("pla line %d: bad .i", lineNo)
+			}
+			p.Inputs = n
+		case ".o":
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("pla line %d: bad .o", lineNo)
+			}
+			p.Outputs = n
+		case ".ilb":
+			p.InNames = fields[1:]
+		case ".ob":
+			p.OutName = fields[1:]
+		case ".p", ".type":
+			// informational
+		case ".e", ".end":
+			// done
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				return nil, fmt.Errorf("pla line %d: unsupported directive %s", lineNo, fields[0])
+			}
+			if p.Inputs < 0 || p.Outputs < 0 {
+				return nil, fmt.Errorf("pla line %d: cube before .i/.o", lineNo)
+			}
+			if p.Covers == nil {
+				p.Covers = make([]*Cover, p.Outputs)
+				for o := range p.Covers {
+					p.Covers[o] = NewCover(p.Inputs)
+				}
+			}
+			if len(fields) != 2 || len(fields[0]) != p.Inputs || len(fields[1]) != p.Outputs {
+				return nil, fmt.Errorf("pla line %d: malformed cube row", lineNo)
+			}
+			t := NewTerm(p.Inputs)
+			for v, ch := range fields[0] {
+				switch ch {
+				case '1':
+					t.SetPos(v)
+				case '0':
+					t.SetNeg(v)
+				case '-', '2':
+				default:
+					return nil, fmt.Errorf("pla line %d: bad input literal %c", lineNo, ch)
+				}
+			}
+			for o, ch := range fields[1] {
+				switch ch {
+				case '1', '4':
+					p.Covers[o].Add(t.Clone())
+				case '0', '~', '-', '2', '3':
+				default:
+					return nil, fmt.Errorf("pla line %d: bad output literal %c", lineNo, ch)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p.Inputs < 0 || p.Outputs < 0 {
+		return nil, fmt.Errorf("pla: missing .i/.o header")
+	}
+	if p.Covers == nil {
+		p.Covers = make([]*Cover, p.Outputs)
+		for o := range p.Covers {
+			p.Covers[o] = NewCover(p.Inputs)
+		}
+	}
+	if p.InNames == nil {
+		for i := 0; i < p.Inputs; i++ {
+			p.InNames = append(p.InNames, fmt.Sprintf("x%d", i))
+		}
+	}
+	if p.OutName == nil {
+		for o := 0; o < p.Outputs; o++ {
+			p.OutName = append(p.OutName, fmt.Sprintf("y%d", o))
+		}
+	}
+	return p, nil
+}
+
+// WritePLA renders the PLA in espresso format. Identical input rows that
+// drive several outputs are merged.
+func (p *PLA) WritePLA(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".i %d\n.o %d\n", p.Inputs, p.Outputs)
+	if p.InNames != nil {
+		fmt.Fprintf(bw, ".ilb %s\n", strings.Join(p.InNames, " "))
+	}
+	if p.OutName != nil {
+		fmt.Fprintf(bw, ".ob %s\n", strings.Join(p.OutName, " "))
+	}
+	// Merge rows by input-term key.
+	type row struct {
+		in  string
+		out []byte
+	}
+	var rows []row
+	index := make(map[string]int)
+	for o, c := range p.Covers {
+		for _, t := range c.Terms {
+			in := t.PLAString(p.Inputs)
+			i, ok := index[in]
+			if !ok {
+				i = len(rows)
+				index[in] = i
+				out := make([]byte, p.Outputs)
+				for j := range out {
+					out[j] = '0'
+				}
+				rows = append(rows, row{in: in, out: out})
+			}
+			rows[i].out[o] = '1'
+		}
+	}
+	fmt.Fprintf(bw, ".p %d\n", len(rows))
+	for _, r := range rows {
+		fmt.Fprintf(bw, "%s %s\n", r.in, r.out)
+	}
+	fmt.Fprintln(bw, ".e")
+	return bw.Flush()
+}

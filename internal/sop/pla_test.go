@@ -1,0 +1,83 @@
+package sop
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const samplePLA = `
+# 2-bit half adder
+.i 4
+.o 3
+.ilb a0 a1 b0 b1
+.ob s0 s1 c
+1-0- 100
+0-1- 100
+-1-0 010
+-0-1 010
+-1-1 001
+.e
+`
+
+func TestParsePLA(t *testing.T) {
+	p, err := ParsePLA(strings.NewReader(samplePLA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Inputs != 4 || p.Outputs != 3 {
+		t.Fatalf("I/O = %d/%d", p.Inputs, p.Outputs)
+	}
+	if len(p.InNames) != 4 || p.InNames[0] != "a0" {
+		t.Errorf("input names = %v", p.InNames)
+	}
+	if len(p.Covers[0].Terms) != 2 || len(p.Covers[1].Terms) != 2 || len(p.Covers[2].Terms) != 1 {
+		t.Errorf("cover term counts: %d/%d/%d",
+			len(p.Covers[0].Terms), len(p.Covers[1].Terms), len(p.Covers[2].Terms))
+	}
+}
+
+func TestPLARoundTrip(t *testing.T) {
+	p, err := ParsePLA(strings.NewReader(samplePLA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WritePLA(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParsePLA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := range p.Covers {
+		if !p.Covers[o].Equal(q.Covers[o]) {
+			t.Errorf("output %d differs after round trip", o)
+		}
+	}
+}
+
+func TestParsePLAErrors(t *testing.T) {
+	cases := []string{
+		"11 1",                   // cube before header
+		".i 2\n.o 1\n1 1",        // wrong input width
+		".i 2\n.o 1\n11 11",      // wrong output width
+		".i 2\n.o 1\n1x 1",       // bad literal
+		".i 2\n.o 1\n.unknown x", // unknown directive
+	}
+	for i, src := range cases {
+		if _, err := ParsePLA(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestParsePLAEmptyCover(t *testing.T) {
+	p, err := ParsePLA(strings.NewReader(".i 2\n.o 1\n.e\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Covers) != 1 || !p.Covers[0].IsEmpty() {
+		t.Error("empty PLA should yield a constant-0 cover")
+	}
+}

@@ -1,0 +1,536 @@
+// Package sop implements two-level Sum-of-Products covers with both literal
+// polarities, the unate recursive paradigm (tautology, complement), an
+// espresso-style minimizer (expand / irredundant), and PLA text I/O.
+//
+// It is the substrate the SIS-like baseline flow (package sisbase) operates
+// on, and the input representation for benchmark functions specified in
+// two-level form.
+package sop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cube"
+)
+
+// Term is one product term of a cover. A variable may appear positive,
+// negative, or not at all (don't-care in that position).
+type Term struct {
+	Pos cube.BitSet // variables appearing as positive literals
+	Neg cube.BitSet // variables appearing as negative literals
+}
+
+// NewTerm returns the universal term (no literals) over n variables.
+func NewTerm(n int) Term {
+	return Term{Pos: cube.NewBitSet(n), Neg: cube.NewBitSet(n)}
+}
+
+// Clone returns an independent copy of t.
+func (t Term) Clone() Term {
+	return Term{Pos: t.Pos.Clone(), Neg: t.Neg.Clone()}
+}
+
+// SetPos adds the positive literal of v (clearing any negative literal).
+func (t Term) SetPos(v int) { t.Pos.Set(v); t.Neg.Clear(v) }
+
+// SetNeg adds the negative literal of v (clearing any positive literal).
+func (t Term) SetNeg(v int) { t.Neg.Set(v); t.Pos.Clear(v) }
+
+// Free removes both literals of v from the term.
+func (t Term) Free(v int) { t.Pos.Clear(v); t.Neg.Clear(v) }
+
+// Literals returns the number of literals in the term.
+func (t Term) Literals() int { return t.Pos.Count() + t.Neg.Count() }
+
+// IsUniversal reports whether the term has no literals (constant 1).
+func (t Term) IsUniversal() bool { return t.Pos.IsEmpty() && t.Neg.IsEmpty() }
+
+// Contradicts reports whether the term contains both polarities of some
+// variable and is therefore the constant-0 product.
+func (t Term) Contradicts() bool { return t.Pos.Intersects(t.Neg) }
+
+// Contains reports whether t covers u (every minterm of u is a minterm of
+// t); as literal sets, t's literals are a subset of u's.
+func (t Term) Contains(u Term) bool {
+	return t.Pos.SubsetOf(u.Pos) && t.Neg.SubsetOf(u.Neg)
+}
+
+// IntersectsTerm reports whether t and u share at least one minterm, i.e.
+// no variable appears with opposite polarities in the two terms.
+func (t Term) IntersectsTerm(u Term) bool {
+	return !t.Pos.Intersects(u.Neg) && !t.Neg.Intersects(u.Pos)
+}
+
+// Intersect returns the product t·u, and ok=false if it is empty.
+func (t Term) Intersect(u Term) (Term, bool) {
+	if !t.IntersectsTerm(u) {
+		return Term{}, false
+	}
+	r := t.Clone()
+	r.Pos.UnionWith(u.Pos)
+	r.Neg.UnionWith(u.Neg)
+	return r, true
+}
+
+// Eval evaluates the term on an assignment bitset (variable v true iff set).
+func (t Term) Eval(assign cube.BitSet) bool {
+	if !t.Pos.SubsetOf(assign) {
+		return false
+	}
+	n := len(t.Neg)
+	for i := 0; i < n; i++ {
+		var a uint64
+		if i < len(assign) {
+			a = assign[i]
+		}
+		if t.Neg[i]&a != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a map key uniquely identifying the term.
+func (t Term) Key() string { return t.Pos.Key() + "|" + t.Neg.Key() }
+
+// String renders the term in PLA-row style over n variables.
+func (t Term) PLAString(n int) string {
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case t.Pos.Has(i):
+			b[i] = '1'
+		case t.Neg.Has(i):
+			b[i] = '0'
+		default:
+			b[i] = '-'
+		}
+	}
+	return string(b)
+}
+
+// Cover is a set of product terms interpreted as their OR.
+// The empty cover is constant 0.
+type Cover struct {
+	NumVars int
+	Terms   []Term
+}
+
+// NewCover returns the constant-0 cover over n variables.
+func NewCover(n int) *Cover { return &Cover{NumVars: n} }
+
+// Universe returns the constant-1 cover (one universal term).
+func Universe(n int) *Cover {
+	c := NewCover(n)
+	c.Terms = append(c.Terms, NewTerm(n))
+	return c
+}
+
+// Clone returns a deep copy.
+func (c *Cover) Clone() *Cover {
+	out := &Cover{NumVars: c.NumVars, Terms: make([]Term, len(c.Terms))}
+	for i, t := range c.Terms {
+		out.Terms[i] = t.Clone()
+	}
+	return out
+}
+
+// Add appends a term.
+func (c *Cover) Add(t Term) { c.Terms = append(c.Terms, t) }
+
+// IsEmpty reports whether the cover has no terms (constant 0).
+func (c *Cover) IsEmpty() bool { return len(c.Terms) == 0 }
+
+// Literals returns the total literal count of the cover.
+func (c *Cover) Literals() int {
+	n := 0
+	for _, t := range c.Terms {
+		n += t.Literals()
+	}
+	return n
+}
+
+// Eval evaluates the cover on an assignment.
+func (c *Cover) Eval(assign cube.BitSet) bool {
+	for _, t := range c.Terms {
+		if t.Eval(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+// Support returns the set of variables appearing in any term.
+func (c *Cover) Support() cube.BitSet {
+	s := cube.NewBitSet(c.NumVars)
+	for _, t := range c.Terms {
+		s.UnionWith(t.Pos)
+		s.UnionWith(t.Neg)
+	}
+	return s
+}
+
+// Cofactor returns the Shannon cofactor of the cover with respect to
+// literal (v, phase): terms conflicting with the literal are dropped,
+// matching literals are erased.
+func (c *Cover) Cofactor(v int, phase bool) *Cover {
+	out := NewCover(c.NumVars)
+	for _, t := range c.Terms {
+		if phase {
+			if t.Neg.Has(v) {
+				continue
+			}
+		} else {
+			if t.Pos.Has(v) {
+				continue
+			}
+		}
+		nt := t.Clone()
+		nt.Free(v)
+		out.Terms = append(out.Terms, nt)
+	}
+	return out
+}
+
+// CofactorTerm returns the cover cofactored against an entire term
+// (the generalized cofactor used for containment checks).
+func (c *Cover) CofactorTerm(u Term) *Cover {
+	out := NewCover(c.NumVars)
+	for _, t := range c.Terms {
+		if !t.IntersectsTerm(u) {
+			continue
+		}
+		nt := t.Clone()
+		nt.Pos.DifferenceWith(u.Pos)
+		nt.Neg.DifferenceWith(u.Neg)
+		out.Terms = append(out.Terms, nt)
+	}
+	return out
+}
+
+// mostBinateVar returns the variable appearing in the most terms, breaking
+// ties toward the most balanced pos/neg split; -1 if no literals remain.
+func (c *Cover) mostBinateVar() int {
+	pos := make([]int, c.NumVars)
+	neg := make([]int, c.NumVars)
+	for _, t := range c.Terms {
+		t.Pos.ForEach(func(v int) { pos[v]++ })
+		t.Neg.ForEach(func(v int) { neg[v]++ })
+	}
+	best, bestScore := -1, -1
+	for v := 0; v < c.NumVars; v++ {
+		tot := pos[v] + neg[v]
+		if tot == 0 {
+			continue
+		}
+		// Prefer binate (both polarities) variables, then high occurrence.
+		score := tot
+		if pos[v] > 0 && neg[v] > 0 {
+			score += 1 << 20
+		}
+		if score > bestScore {
+			best, bestScore = v, score
+		}
+	}
+	return best
+}
+
+// IsTautology reports whether the cover is the constant-1 function,
+// using the unate recursive paradigm.
+func (c *Cover) IsTautology() bool {
+	// Quick exits.
+	for _, t := range c.Terms {
+		if t.IsUniversal() {
+			return true
+		}
+	}
+	if len(c.Terms) == 0 {
+		return false
+	}
+	v := c.mostBinateVar()
+	if v < 0 {
+		// All terms have literals but no variable appears: impossible,
+		// guarded above; treat as non-tautology.
+		return false
+	}
+	// Unate reduction: if v appears in only one polarity, terms with the
+	// literal can never help cover the opposite half alone; still must
+	// split. (Simple split is sound and fast enough at our sizes.)
+	return c.Cofactor(v, true).IsTautology() && c.Cofactor(v, false).IsTautology()
+}
+
+// CoversTerm reports whether the cover contains every minterm of the term.
+func (c *Cover) CoversTerm(u Term) bool {
+	return c.CofactorTerm(u).IsTautology()
+}
+
+// Complement returns a cover of the complement function, via the unate
+// recursive paradigm with Shannon merging.
+func (c *Cover) Complement() *Cover {
+	out, _ := c.complementBounded(1 << 62)
+	return out
+}
+
+// ComplementBounded is Complement with a term budget: it returns
+// ok=false (and a nil cover) as soon as the result would exceed
+// maxTerms, which callers use to skip minimization of functions whose
+// OFF-sets explode (e.g. wide disjoint disjunctions).
+func (c *Cover) ComplementBounded(maxTerms int) (*Cover, bool) {
+	return c.complementBounded(maxTerms)
+}
+
+func (c *Cover) complementBounded(maxTerms int) (*Cover, bool) {
+	for _, t := range c.Terms {
+		if t.IsUniversal() {
+			return NewCover(c.NumVars), true // complement of 1 is 0
+		}
+	}
+	if len(c.Terms) == 0 {
+		return Universe(c.NumVars), true
+	}
+	if len(c.Terms) == 1 {
+		// De Morgan on a single term: OR of complemented literals.
+		out := NewCover(c.NumVars)
+		t := c.Terms[0]
+		t.Pos.ForEach(func(v int) {
+			nt := NewTerm(c.NumVars)
+			nt.SetNeg(v)
+			out.Terms = append(out.Terms, nt)
+		})
+		t.Neg.ForEach(func(v int) {
+			nt := NewTerm(c.NumVars)
+			nt.SetPos(v)
+			out.Terms = append(out.Terms, nt)
+		})
+		return out, true
+	}
+	v := c.mostBinateVar()
+	cpos, ok := c.Cofactor(v, true).complementBounded(maxTerms)
+	if !ok {
+		return nil, false
+	}
+	cneg, ok := c.Cofactor(v, false).complementBounded(maxTerms)
+	if !ok {
+		return nil, false
+	}
+	if len(cpos.Terms)+len(cneg.Terms) > maxTerms {
+		return nil, false
+	}
+	out := NewCover(c.NumVars)
+	for _, t := range cpos.Terms {
+		nt := t.Clone()
+		if !nt.Neg.Has(v) {
+			nt.SetPos(v)
+			out.Terms = append(out.Terms, nt)
+		}
+	}
+	for _, t := range cneg.Terms {
+		nt := t.Clone()
+		if !nt.Pos.Has(v) {
+			nt.SetNeg(v)
+			out.Terms = append(out.Terms, nt)
+		}
+	}
+	out.SingleTermContainment()
+	return out, true
+}
+
+// SingleTermContainment removes contradictory terms (constant-0 products)
+// and terms contained in another single term.
+func (c *Cover) SingleTermContainment() {
+	sort.Slice(c.Terms, func(i, j int) bool {
+		return c.Terms[i].Literals() < c.Terms[j].Literals()
+	})
+	var kept []Term
+	for _, t := range c.Terms {
+		if t.Contradicts() {
+			continue
+		}
+		contained := false
+		for _, k := range kept {
+			if k.Contains(t) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			kept = append(kept, t)
+		}
+	}
+	c.Terms = kept
+}
+
+// Intersect returns the product cover c·d.
+func (c *Cover) Intersect(d *Cover) *Cover {
+	out := NewCover(c.NumVars)
+	for _, t := range c.Terms {
+		for _, u := range d.Terms {
+			if p, ok := t.Intersect(u); ok {
+				out.Terms = append(out.Terms, p)
+			}
+		}
+	}
+	out.SingleTermContainment()
+	return out
+}
+
+// IntersectsCover reports whether c and d share at least one minterm.
+func (c *Cover) IntersectsCover(d *Cover) bool {
+	for _, t := range c.Terms {
+		for _, u := range d.Terms {
+			if t.IntersectsTerm(u) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TermIntersectsCover reports whether term t shares a minterm with cover d.
+func TermIntersectsCover(t Term, d *Cover) bool {
+	for _, u := range d.Terms {
+		if t.IntersectsTerm(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// Minimize runs an espresso-style expand / irredundant loop against the
+// function's own OFF-set (computed once by complementation). The cover is
+// modified in place and remains functionally identical.
+func (c *Cover) Minimize() {
+	c.SingleTermContainment() // also drops contradictory (constant-0) terms
+	if len(c.Terms) == 0 {
+		return
+	}
+	// Bound the OFF-set: functions like wide disjoint disjunctions have
+	// exponential complements; for those, containment + irredundancy is
+	// all espresso's expand can safely do.
+	limit := 50 * (len(c.Terms) + 20)
+	off, ok := c.ComplementBounded(limit)
+	if !ok {
+		c.Irredundant()
+		return
+	}
+	c.ExpandAgainst(off)
+	c.Irredundant()
+	// Second pass often helps after the cover shrank.
+	c.ExpandAgainst(off)
+	c.Irredundant()
+}
+
+// ExpandAgainst raises each term (removes literals) as long as the
+// expanded term stays disjoint from the given OFF-set cover. Terms are
+// processed largest-first so expanded terms can swallow smaller ones.
+func (c *Cover) ExpandAgainst(off *Cover) {
+	sort.Slice(c.Terms, func(i, j int) bool {
+		return c.Terms[i].Literals() > c.Terms[j].Literals()
+	})
+	for i := range c.Terms {
+		t := &c.Terms[i]
+		// Try removing each literal, most-shared first would be better;
+		// simple increasing order is adequate at benchmark sizes.
+		lits := append(t.Pos.Elements(), t.Neg.Elements()...)
+		for _, v := range lits {
+			wasPos := t.Pos.Has(v)
+			wasNeg := t.Neg.Has(v)
+			t.Free(v)
+			if TermIntersectsCover(*t, off) {
+				// Restore via the raw bitsets: SetPos/SetNeg clear the
+				// opposite phase, which would corrupt a (degenerate)
+				// contradictory term.
+				if wasPos {
+					t.Pos.Set(v)
+				}
+				if wasNeg {
+					t.Neg.Set(v)
+				}
+			}
+		}
+	}
+	c.SingleTermContainment()
+}
+
+// Irredundant removes terms that are covered by the union of the others.
+func (c *Cover) Irredundant() {
+	// Largest terms are most likely essential; test smallest first.
+	sort.Slice(c.Terms, func(i, j int) bool {
+		return c.Terms[i].Literals() > c.Terms[j].Literals()
+	})
+	for i := len(c.Terms) - 1; i >= 0; i-- {
+		rest := &Cover{NumVars: c.NumVars}
+		rest.Terms = append(rest.Terms, c.Terms[:i]...)
+		rest.Terms = append(rest.Terms, c.Terms[i+1:]...)
+		if rest.CoversTerm(c.Terms[i]) {
+			c.Terms = append(c.Terms[:i], c.Terms[i+1:]...)
+		}
+	}
+}
+
+// Equal reports whether the two covers denote the same function, decided
+// by mutual containment (tautology checks).
+func (c *Cover) Equal(d *Cover) bool {
+	for _, t := range c.Terms {
+		if !d.CoversTerm(t) {
+			return false
+		}
+	}
+	for _, t := range d.Terms {
+		if !c.CoversTerm(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the cover PLA-style, one term per line.
+func (c *Cover) String() string {
+	if c.IsEmpty() {
+		return "(0)"
+	}
+	var b strings.Builder
+	for i, t := range c.Terms {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		b.WriteString(t.PLAString(c.NumVars))
+	}
+	return b.String()
+}
+
+// FromMinterms builds a cover from explicit minterm indices (bit i of the
+// minterm index is the value of variable i) and minimizes it.
+func FromMinterms(n int, minterms []int) *Cover {
+	c := NewCover(n)
+	for _, m := range minterms {
+		t := NewTerm(n)
+		for v := 0; v < n; v++ {
+			if m&(1<<v) != 0 {
+				t.SetPos(v)
+			} else {
+				t.SetNeg(v)
+			}
+		}
+		c.Add(t)
+	}
+	c.Minimize()
+	return c
+}
+
+// FromFunc builds a minimized cover of an arbitrary n-variable function
+// given as a predicate over minterm indices. Practical for n ≤ ~16.
+func FromFunc(n int, f func(m int) bool) *Cover {
+	if n > 24 {
+		panic(fmt.Sprintf("sop.FromFunc: %d variables is too many for truth-table enumeration", n))
+	}
+	var minterms []int
+	for m := 0; m < 1<<n; m++ {
+		if f(m) {
+			minterms = append(minterms, m)
+		}
+	}
+	return FromMinterms(n, minterms)
+}

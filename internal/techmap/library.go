@@ -1,0 +1,95 @@
+// Package techmap implements technology mapping in the style of the SIS
+// `map` command the paper uses for its Table 2 results: the network is
+// decomposed into a NAND2/INV subject graph, and a dynamic-programming
+// tree covering selects cells from a built-in library modeled on
+// mcnc.genlib — 2-input XOR/XNOR, 2-input AND/OR, NAND/NOR up to four
+// inputs, and four complex cells (AOI21, AOI22, OAI21, OAI22) — exactly
+// the cell classes the paper lists.
+//
+// Pattern trees are expressed over {INV, NAND2, leaf}; repeated leaf
+// variables make leaf-DAG patterns (the XOR cell) matchable on the
+// hash-consed subject graph.
+package techmap
+
+// PatOp is a pattern tree operator.
+type PatOp int
+
+// Pattern operators.
+const (
+	PatLeaf PatOp = iota // a cell input, identified by Var
+	PatInv
+	PatNand
+)
+
+// Pattern is a tree over INV/NAND2 with named leaves. Repeated leaf names
+// must bind to the same subject node (leaf-DAG patterns).
+type Pattern struct {
+	Op   PatOp
+	Var  int // for PatLeaf: input index
+	Kids []*Pattern
+}
+
+func leaf(v int) *Pattern { return &Pattern{Op: PatLeaf, Var: v} }
+func inv(k *Pattern) *Pattern {
+	if k.Op == PatInv {
+		return k.Kids[0] // match the subject graph's double-negation elimination
+	}
+	return &Pattern{Op: PatInv, Kids: []*Pattern{k}}
+}
+func nand(a, b *Pattern) *Pattern  { return &Pattern{Op: PatNand, Kids: []*Pattern{a, b}} }
+func and2p(a, b *Pattern) *Pattern { return inv(nand(a, b)) }
+func or2p(a, b *Pattern) *Pattern  { return nand(inv(a), inv(b)) }
+
+// Cell is one library cell: a name, its pattern alternatives, its area,
+// its literal count (the factored-form literal count SIS reports as
+// "lits" after mapping) and its input count.
+type Cell struct {
+	Name     string
+	Patterns []*Pattern
+	Area     float64
+	Lits     int
+	Inputs   int
+}
+
+// Library returns the built-in mcnc.genlib-like library.
+func Library() []Cell {
+	A, B, C, D := leaf(0), leaf(1), leaf(2), leaf(3)
+	// The two structural decompositions of XOR that arise in practice:
+	// the shared-NAND leaf-DAG (from XOR gates decomposed by the subject
+	// builder) and the sum-of-products tree ab̄+āb (from SOP-based flows).
+	xorShared := func(a, b *Pattern) *Pattern {
+		m := nand(a, b)
+		return nand(nand(a, m), nand(b, m))
+	}
+	xorSOP := func(a, b *Pattern) *Pattern {
+		return nand(nand(a, inv(b)), nand(inv(a), b))
+	}
+	xnorSOP := func(a, b *Pattern) *Pattern {
+		return nand(nand(a, b), nand(inv(a), inv(b)))
+	}
+	return []Cell{
+		{Name: "inv", Patterns: []*Pattern{inv(A)}, Area: 1, Lits: 1, Inputs: 1},
+		{Name: "nand2", Patterns: []*Pattern{nand(A, B)}, Area: 2, Lits: 2, Inputs: 2},
+		{Name: "nor2", Patterns: []*Pattern{inv(or2p(A, B))}, Area: 2, Lits: 2, Inputs: 2},
+		{Name: "and2", Patterns: []*Pattern{and2p(A, B)}, Area: 3, Lits: 2, Inputs: 2},
+		{Name: "or2", Patterns: []*Pattern{or2p(A, B)}, Area: 3, Lits: 2, Inputs: 2},
+		{Name: "nand3", Patterns: []*Pattern{nand(A, and2p(B, C))}, Area: 3, Lits: 3, Inputs: 3},
+		{Name: "nor3", Patterns: []*Pattern{inv(or2p(or2p(A, B), C))}, Area: 3, Lits: 3, Inputs: 3},
+		{Name: "nand4", Patterns: []*Pattern{
+			nand(and2p(A, B), and2p(C, D)),
+			nand(A, and2p(B, and2p(C, D))),
+		}, Area: 4, Lits: 4, Inputs: 4},
+		{Name: "nor4", Patterns: []*Pattern{
+			inv(or2p(or2p(A, B), or2p(C, D))),
+			inv(or2p(or2p(or2p(A, B), C), D)),
+		}, Area: 4, Lits: 4, Inputs: 4},
+		{Name: "xor2", Patterns: []*Pattern{xorShared(A, B), xorSOP(A, B), inv(xnorSOP(A, B))}, Area: 5, Lits: 4, Inputs: 2},
+		{Name: "xnor2", Patterns: []*Pattern{inv(xorShared(A, B)), xnorSOP(A, B), inv(xorSOP(A, B))}, Area: 5, Lits: 4, Inputs: 2},
+		// Complex cells: aoi21 = ¬(ab + c), aoi22 = ¬(ab + cd),
+		// oai21 = ¬((a+b)c), oai22 = ¬((a+b)(c+d)).
+		{Name: "aoi21", Patterns: []*Pattern{inv(or2p(and2p(A, B), C))}, Area: 3, Lits: 3, Inputs: 3},
+		{Name: "aoi22", Patterns: []*Pattern{inv(or2p(and2p(A, B), and2p(C, D)))}, Area: 4, Lits: 4, Inputs: 4},
+		{Name: "oai21", Patterns: []*Pattern{inv(and2p(or2p(A, B), C))}, Area: 3, Lits: 3, Inputs: 3},
+		{Name: "oai22", Patterns: []*Pattern{inv(and2p(or2p(A, B), or2p(C, D)))}, Area: 4, Lits: 4, Inputs: 4},
+	}
+}

@@ -1,0 +1,101 @@
+// Package verify provides combinational equivalence checking between gate
+// networks — the role SIS's `verify` command plays in the paper's
+// methodology (every synthesized circuit is checked against the original).
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bdd"
+	"repro/internal/cube"
+	"repro/internal/network"
+)
+
+// Equivalent reports whether the two networks compute identical functions
+// output-for-output (matched by position), using canonical BDDs.
+func Equivalent(a, b *network.Network) (bool, error) {
+	if a.NumPIs() != b.NumPIs() {
+		return false, fmt.Errorf("verify: PI counts differ (%d vs %d)", a.NumPIs(), b.NumPIs())
+	}
+	if a.NumPOs() != b.NumPOs() {
+		return false, fmt.Errorf("verify: PO counts differ (%d vs %d)", a.NumPOs(), b.NumPOs())
+	}
+	m := bdd.New(a.NumPIs())
+	fa := a.ToBDDs(m)
+	fb := b.ToBDDs(m)
+	for i := range fa {
+		if fa[i] != fb[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Counterexample returns an input assignment on which the networks
+// disagree, or ok=false if they are equivalent.
+func Counterexample(a, b *network.Network) (cube.BitSet, int, bool) {
+	m := bdd.New(a.NumPIs())
+	fa := a.ToBDDs(m)
+	fb := b.ToBDDs(m)
+	for i := range fa {
+		diff := m.Xor(fa[i], fb[i])
+		if assign, sat := m.AnySat(diff); sat {
+			return assign, i, true
+		}
+	}
+	return nil, 0, false
+}
+
+// RandomCheck simulates both networks on n random vectors and reports the
+// first mismatching output index, or -1. A quick smoke test for very wide
+// circuits where BDDs might blow up.
+func RandomCheck(a, b *network.Network, n int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i += 64 {
+		words := make([]uint64, a.NumPIs())
+		for v := range words {
+			words[v] = rng.Uint64()
+		}
+		va := a.Simulate(words)
+		vb := b.Simulate(words)
+		for o := range a.POs {
+			if va[a.POs[o].Gate] != vb[b.POs[o].Gate] {
+				return o
+			}
+		}
+	}
+	return -1
+}
+
+// Exhaustive checks all 2^n input patterns (n ≤ 20).
+func Exhaustive(a, b *network.Network) bool {
+	n := a.NumPIs()
+	if n > 20 {
+		panic("verify: Exhaustive limited to 20 inputs")
+	}
+	for base := 0; base < 1<<uint(n); base += 64 {
+		words := make([]uint64, n)
+		for j := 0; j < 64 && base+j < 1<<uint(n); j++ {
+			m := base + j
+			for v := 0; v < n; v++ {
+				if m&(1<<v) != 0 {
+					words[v] |= 1 << uint(j)
+				}
+			}
+		}
+		va := a.Simulate(words)
+		vb := b.Simulate(words)
+		rem := 1<<uint(n) - base
+		mask := ^uint64(0)
+		if rem < 64 {
+			mask = 1<<uint(rem) - 1
+		}
+		for o := range a.POs {
+			if (va[a.POs[o].Gate]^vb[b.POs[o].Gate])&mask != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,73 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/network"
+)
+
+func twoNets() (*network.Network, *network.Network) {
+	a := network.New("a")
+	x := a.AddPI("x")
+	y := a.AddPI("y")
+	a.AddPO("o", a.AddGate(network.Xor, x, y))
+
+	b := network.New("b")
+	x2 := b.AddPI("x")
+	y2 := b.AddPI("y")
+	// x⊕y as (x+y)(xy)'
+	or := b.AddGate(network.Or, x2, y2)
+	nand := b.AddGate(network.Nand, x2, y2)
+	b.AddPO("o", b.AddGate(network.And, or, nand))
+	return a, b
+}
+
+func TestEquivalentTrue(t *testing.T) {
+	a, b := twoNets()
+	eq, err := Equivalent(a, b)
+	if err != nil || !eq {
+		t.Fatalf("eq=%v err=%v, want true", eq, err)
+	}
+	if !Exhaustive(a, b) {
+		t.Error("Exhaustive disagrees")
+	}
+	if RandomCheck(a, b, 256, 1) != -1 {
+		t.Error("RandomCheck disagrees")
+	}
+	if _, _, found := Counterexample(a, b); found {
+		t.Error("counterexample on equivalent networks")
+	}
+}
+
+func TestEquivalentFalse(t *testing.T) {
+	a, _ := twoNets()
+	c := network.New("c")
+	x := c.AddPI("x")
+	y := c.AddPI("y")
+	c.AddPO("o", c.AddGate(network.Or, x, y))
+	eq, err := Equivalent(a, c)
+	if err != nil || eq {
+		t.Fatalf("eq=%v err=%v, want false", eq, err)
+	}
+	assign, out, found := Counterexample(a, c)
+	if !found || out != 0 {
+		t.Fatal("no counterexample found")
+	}
+	// The counterexample must actually distinguish them: x=y=1.
+	if a.Eval(assign)[0] == c.Eval(assign)[0] {
+		t.Error("counterexample does not distinguish")
+	}
+	if Exhaustive(a, c) {
+		t.Error("Exhaustive says equal")
+	}
+}
+
+func TestShapeMismatch(t *testing.T) {
+	a, _ := twoNets()
+	d := network.New("d")
+	d.AddPI("x")
+	d.AddPO("o", d.PIs[0])
+	if _, err := Equivalent(a, d); err == nil {
+		t.Error("expected PI-count error")
+	}
+}
