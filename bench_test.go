@@ -14,6 +14,7 @@ package repro
 // and the area columns.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bdd"
@@ -42,7 +43,7 @@ func benchOurs(b *testing.B, name string) {
 	var lits int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.Synthesize(spec, opt)
+		res, err := core.Synthesize(context.Background(), spec, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -57,7 +58,7 @@ func benchSIS(b *testing.B, name string) {
 	var lits int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sisbase.Run(spec, sisbase.DefaultOptions())
+		res, err := sisbase.Run(context.Background(), spec, sisbase.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func BenchmarkTable2(b *testing.B) {
 			var mapped int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := core.Synthesize(spec, core.DefaultOptions())
+				res, err := core.Synthesize(context.Background(), spec, core.DefaultOptions())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -115,7 +116,7 @@ func BenchmarkTable2(b *testing.B) {
 			var mapped int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := sisbase.Run(spec, sisbase.DefaultOptions())
+				res, err := sisbase.Run(context.Background(), spec, sisbase.DefaultOptions())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -145,7 +146,7 @@ func BenchmarkAblationMethod(b *testing.B) {
 			var lits int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := core.Synthesize(spec, opt)
+				res, err := core.Synthesize(context.Background(), spec, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -172,7 +173,7 @@ func BenchmarkAblationRedund(b *testing.B) {
 			var lits int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := core.Synthesize(spec, opt)
+				res, err := core.Synthesize(context.Background(), spec, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -196,7 +197,7 @@ func BenchmarkAblationPolarity(b *testing.B) {
 			var cubes int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := core.Synthesize(spec, opt)
+				res, err := core.Synthesize(context.Background(), spec, opt)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,8 @@ func main() {
 	var (
 		circuit    = flag.String("circuit", "", "built-in benchmark name")
 		backtracks = flag.Int("backtracks", 10000, "PODEM backtrack limit")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for synthesis (0 = none)")
+		maxNodes   = flag.Int("max-nodes", 0, "BDD/OFDD node budget (0 = none)")
 	)
 	flag.Parse()
 	c, ok := bench.ByName(*circuit)
@@ -35,15 +38,31 @@ func main() {
 	}
 	spec := c.Build()
 
-	ours, err := core.Synthesize(spec, core.DefaultOptions())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rmatpg:", err)
-		os.Exit(1)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	base, err := sisbase.Run(spec, sisbase.DefaultOptions())
+	opt := core.DefaultOptions()
+	opt.MaxBDDNodes = *maxNodes
+	opt.MaxOFDDNodes = *maxNodes
+
+	ours, err := core.Synthesize(ctx, spec, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rmatpg:", err)
-		os.Exit(1)
+		os.Exit(2)
+	}
+	if report := ours.FallbackReport(); report != "" {
+		fmt.Fprintf(os.Stderr, "rmatpg: budget degradations:\n%s", report)
+	}
+	base, err := sisbase.Run(ctx, spec, sisbase.DefaultOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmatpg:", err)
+		os.Exit(2)
+	}
+	if base.Stopped != "" {
+		fmt.Fprintf(os.Stderr, "rmatpg: baseline stopped early: %s\n", base.Stopped)
 	}
 
 	fmt.Printf("%s (%d/%d)\n", c.Name, c.In, c.Out)

@@ -24,15 +24,19 @@ import (
 
 func main() {
 	var (
-		only    = flag.String("only", "", "comma-separated circuit names")
-		arith   = flag.Bool("arith", false, "arithmetic circuits only")
-		csvPath = flag.String("csv", "", "also write CSV to this file")
-		method  = flag.Int("method", 1, "factorization method: 1 = cube, 2 = OFDD")
+		only     = flag.String("only", "", "comma-separated circuit names")
+		arith    = flag.Bool("arith", false, "arithmetic circuits only")
+		csvPath  = flag.String("csv", "", "also write CSV to this file")
+		method   = flag.Int("method", 1, "factorization method: 1 = cube, 2 = OFDD")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget per circuit (0 = none)")
+		maxNodes = flag.Int("max-nodes", 0, "BDD/OFDD node budget per circuit (0 = none)")
 	)
 	flag.Parse()
 
 	opt := bench.DefaultOptions()
 	opt.Core.Method = core.Method(*method)
+	opt.Timeout = *timeout
+	opt.MaxBDDNodes = *maxNodes
 	if *only != "" {
 		names := map[string]bool{}
 		for _, n := range strings.Split(*only, ",") {

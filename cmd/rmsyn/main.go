@@ -9,10 +9,16 @@
 //	rmsyn -blif design.blif             # or any combinational BLIF file
 //	rmsyn -circuit z4ml -method 1 -polarity greedy -dump out.blif
 //	rmsyn -circuit add6 -baseline       # also run the SOP baseline
+//	rmsyn -circuit mlp4 -timeout 2s     # budgeted run (degrades gracefully)
 //	rmsyn -list                         # list the built-in benchmarks
+//
+// Exit codes: 0 success, 1 usage error, 2 synthesis or budget failure,
+// 3 verification mismatch.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -42,8 +48,15 @@ func main() {
 		list      = flag.Bool("list", false, "list built-in benchmarks")
 		doVerify  = flag.Bool("verify", true, "verify results against the specification")
 		showForms = flag.Bool("forms", false, "print per-output FPRM cube counts")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for synthesis (0 = none)")
+		maxNodes  = flag.Int("max-nodes", 0, "BDD/OFDD node budget (0 = none)")
 	)
-	flag.Parse()
+	// Parse manually so malformed flags exit with the documented usage
+	// code (flag.ExitOnError would exit 2, the synthesis-failure code).
+	flag.CommandLine.Init(os.Args[0], flag.ContinueOnError)
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		os.Exit(exitUsage)
+	}
 
 	if *list {
 		for _, c := range bench.Circuits() {
@@ -62,7 +75,7 @@ func main() {
 
 	spec, name, err := loadSpec(*circuit, *blifIn, *plaIn)
 	if err != nil {
-		fail(err)
+		fail(exitUsage, err)
 	}
 
 	opt := core.DefaultOptions()
@@ -75,15 +88,30 @@ func main() {
 	case "exhaustive":
 		opt.Polarity = core.PolarityExhaustive
 	default:
-		fail(fmt.Errorf("unknown polarity strategy %q", *polarity))
+		fail(exitUsage, fmt.Errorf("unknown polarity strategy %q", *polarity))
 	}
 	opt.Rules = !*noRules
 	opt.Redund = !*noRedund
 	opt.Verify = *doVerify
+	opt.MaxBDDNodes = *maxNodes
+	opt.MaxOFDDNodes = *maxNodes
 
-	res, err := core.Synthesize(spec, opt)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := core.Synthesize(ctx, spec, opt)
 	if err != nil {
-		fail(err)
+		if errors.Is(err, core.ErrNotEquivalent) {
+			fail(exitVerify, err)
+		}
+		fail(exitSynth, err)
+	}
+	if report := res.FallbackReport(); report != "" {
+		fmt.Fprintf(os.Stderr, "rmsyn: budget degradations:\n%s", report)
 	}
 	fmt.Printf("%s: %d PIs, %d POs\n", name, spec.NumPIs(), spec.NumPOs())
 	fmt.Printf("ours:     %4d 2-input gates, %4d lits, %d XOR gates (%.3fs)\n",
@@ -96,31 +124,37 @@ func main() {
 	}
 	if *doVerify {
 		eq, verr := verify.Equivalent(spec, res.Network)
-		if verr != nil || !eq {
-			fail(fmt.Errorf("verification FAILED: %v", verr))
+		if verr != nil {
+			fail(exitSynth, fmt.Errorf("verification did not run: %v", verr))
+		}
+		if !eq {
+			fail(exitVerify, fmt.Errorf("verification FAILED: result is not equivalent to the specification"))
 		}
 		fmt.Println("          verified equivalent to the specification")
 	}
 	if *doMap {
 		m, err := techmap.Map(res.Network, techmap.Library())
 		if err != nil {
-			fail(err)
+			fail(exitSynth, err)
 		}
 		p := power.EstimateMapped(m)
 		fmt.Printf("mapped:   %s power=%.2f\n", m, p.Total)
 	}
 
 	if *baseline {
-		sres, err := sisbase.Run(spec, sisbase.DefaultOptions())
+		sres, err := sisbase.Run(ctx, spec, sisbase.DefaultOptions())
 		if err != nil {
-			fail(err)
+			fail(exitSynth, err)
+		}
+		if sres.Stopped != "" {
+			fmt.Fprintf(os.Stderr, "rmsyn: baseline stopped early: %s\n", sres.Stopped)
 		}
 		fmt.Printf("baseline: %4d 2-input gates, %4d lits (%.3fs)\n",
 			sres.Stats.Gates2, sres.Stats.Lits, sres.Elapsed.Seconds())
 		if *doMap {
 			m, err := techmap.Map(sres.Network, techmap.Library())
 			if err != nil {
-				fail(err)
+				fail(exitSynth, err)
 			}
 			p := power.EstimateMapped(m)
 			fmt.Printf("mapped:   %s power=%.2f\n", m, p.Total)
@@ -130,11 +164,11 @@ func main() {
 	if *dump != "" {
 		f, err := os.Create(*dump)
 		if err != nil {
-			fail(err)
+			fail(exitSynth, err)
 		}
 		defer f.Close()
 		if err := res.Network.WriteBLIF(f); err != nil {
-			fail(err)
+			fail(exitSynth, err)
 		}
 		fmt.Printf("wrote %s\n", *dump)
 	}
@@ -222,7 +256,14 @@ func plaToNetwork(p *sop.PLA) *network.Network {
 	return net
 }
 
-func fail(err error) {
+// Exit codes (documented in the package comment and README).
+const (
+	exitUsage  = 1 // bad flags, unknown circuit, unreadable input
+	exitSynth  = 2 // synthesis, budget, mapping, or I/O failure
+	exitVerify = 3 // result not equivalent to the specification
+)
+
+func fail(code int, err error) {
 	fmt.Fprintln(os.Stderr, "rmsyn:", err)
-	os.Exit(1)
+	os.Exit(code)
 }

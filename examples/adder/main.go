@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,11 +34,11 @@ func main() {
 		}
 		spec := c.Build()
 
-		ours, err := core.Synthesize(spec, core.DefaultOptions())
+		ours, err := core.Synthesize(context.Background(), spec, core.DefaultOptions())
 		if err != nil {
 			log.Fatal(err)
 		}
-		base, err := sisbase.Run(spec, sisbase.DefaultOptions())
+		base, err := sisbase.Run(context.Background(), spec, sisbase.DefaultOptions())
 		if err != nil {
 			log.Fatal(err)
 		}

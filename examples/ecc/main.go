@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -60,11 +61,11 @@ func main() {
 	fmt.Printf("Hamming(7,4) decoder: %d PIs, %d POs, spec %d lits\n",
 		spec.NumPIs(), spec.NumPOs(), spec.CollectStats().Lits)
 
-	ours, err := core.Synthesize(spec, core.DefaultOptions())
+	ours, err := core.Synthesize(context.Background(), spec, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := sisbase.Run(spec, sisbase.DefaultOptions())
+	base, err := sisbase.Run(context.Background(), spec, sisbase.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

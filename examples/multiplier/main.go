@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,11 +26,11 @@ func main() {
 	spec := c.Build()
 	fmt.Printf("mlp4: 4×4 multiplier, %d lits as flat two-level logic\n", spec.CollectStats().Lits)
 
-	ours, err := core.Synthesize(spec, core.DefaultOptions())
+	ours, err := core.Synthesize(context.Background(), spec, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := sisbase.Run(spec, sisbase.DefaultOptions())
+	base, err := sisbase.Run(context.Background(), spec, sisbase.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func main() {
 
 	// 2. Run the paper's flow: FPRM derivation via OFDDs, algebraic
 	//    factorization with the reduction rules, XOR redundancy removal.
-	res, err := core.Synthesize(spec, core.DefaultOptions())
+	res, err := core.Synthesize(context.Background(), spec, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func main() {
 	fmt.Println("ours: verified equivalent to the specification")
 
 	// 4. Compare with the conventional SOP-based baseline.
-	base, err := sisbase.Run(spec, sisbase.DefaultOptions())
+	base, err := sisbase.Run(context.Background(), spec, sisbase.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 	fmt.Printf("t481 two-level specification: %d inputs, %d lits\n",
 		spec.NumPIs(), spec.CollectStats().Lits)
 
-	res, err := core.Synthesize(spec, core.DefaultOptions())
+	res, err := core.Synthesize(context.Background(), spec, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func main() {
 	fmt.Println("verified equivalent")
 
 	fmt.Println("\nrunning the SOP baseline on the same 481-cube cover (SIS took 1372 s)...")
-	base, err := sisbase.Run(spec, sisbase.DefaultOptions())
+	base, err := sisbase.Run(context.Background(), spec, sisbase.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

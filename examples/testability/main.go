@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 			log.Fatalf("missing %s", name)
 		}
 		spec := c.Build()
-		res, err := core.Synthesize(spec, core.DefaultOptions())
+		res, err := core.Synthesize(context.Background(), spec, core.DefaultOptions())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -85,6 +85,8 @@ func eval3(t network.GateType, in []int8) int8 {
 		}
 		return out
 	}
+	// Programmer invariant: callers only evaluate logic gates; PI values
+	// come from the assignment vector, never through eval3.
 	panic("atpg: eval3 on PI")
 }
 

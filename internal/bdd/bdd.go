@@ -11,6 +11,7 @@ package bdd
 import (
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/cube"
 	"repro/internal/sop"
 )
@@ -39,12 +40,18 @@ type iteKey struct{ f, g, h Ref }
 
 // Manager owns a forest of shared ROBDD nodes over a fixed number of
 // variables.
+//
+// A Manager may carry a resource budget (SetBudget): node growth and ITE
+// recursion are then checked against it, and exhaustion unwinds with
+// panic(*budget.Err), which callers recover through budget.Guard at the
+// phase boundary (see package budget).
 type Manager struct {
 	numVars int
 	nodes   []node
 	unique  map[uniqueKey]Ref
 	iteTab  map[iteKey]Ref
 	vars    []Ref // cached single-variable BDDs
+	bud     *budget.Budget
 }
 
 // New returns a manager over n variables (order = index order).
@@ -62,6 +69,11 @@ func New(n int) *Manager {
 	}
 	return m
 }
+
+// SetBudget attaches a resource budget to the manager (nil detaches).
+// While attached, node growth and ITE steps trip the budget when
+// exhausted; the trip is recovered by budget.Guard in the caller.
+func (m *Manager) SetBudget(b *budget.Budget) { m.bud = b }
 
 // NumVars returns the number of variables of the manager.
 func (m *Manager) NumVars() int { return m.numVars }
@@ -95,6 +107,7 @@ func (m *Manager) mk(v int32, lo, hi Ref) Ref {
 	if r, ok := m.unique[k]; ok {
 		return r
 	}
+	m.bud.CheckBDDNodes(len(m.nodes) + 1)
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, node{v: v, lo: lo, hi: hi})
 	m.unique[k] = r
@@ -118,6 +131,7 @@ func (m *Manager) ITE(f, g, h Ref) Ref {
 	if r, ok := m.iteTab[k]; ok {
 		return r
 	}
+	m.bud.Step("bdd")
 	// Split on the top variable of the three arguments.
 	v := m.nodes[f].v
 	if m.nodes[g].v < v {
@@ -381,11 +395,14 @@ func (m *Manager) ISOP(L, U Ref) (*sop.Cover, Ref) {
 	return rec(L, U)
 }
 
-// ToCover returns an irredundant SOP cover exactly equal to f.
-func (m *Manager) ToCover(f Ref) *sop.Cover {
+// ToCover returns an irredundant SOP cover exactly equal to f, or an
+// error if the Minato-Morreale procedure produced an inexact cover
+// (which would indicate a defect in ISOP, not bad input — but callers
+// synthesizing untrusted functions must not die on it).
+func (m *Manager) ToCover(f Ref) (*sop.Cover, error) {
 	c, g := m.ISOP(f, f)
 	if g != f {
-		panic(fmt.Sprintf("bdd: ISOP produced inexact cover (%d != %d)", g, f))
+		return nil, fmt.Errorf("bdd: ISOP produced inexact cover (%d != %d)", g, f)
 	}
-	return c
+	return c, nil
 }

@@ -201,8 +201,8 @@ func TestISOPExactAndIrredundant(t *testing.T) {
 				g = m.Or(g, p)
 			}
 		}
-		c := m.ToCover(g)
-		return m.FromCover(c) == g
+		c, err := m.ToCover(g)
+		return err == nil && m.FromCover(c) == g
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
@@ -213,7 +213,10 @@ func TestISOPSmallCover(t *testing.T) {
 	// a + bc has a 2-term ISOP.
 	m := New(3)
 	g := m.Or(m.Var(0), m.And(m.Var(1), m.Var(2)))
-	c := m.ToCover(g)
+	c, err := m.ToCover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(c.Terms) != 2 {
 		t.Errorf("ISOP(a+bc) has %d terms, want 2: %s", len(c.Terms), c)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bdd"
@@ -117,11 +118,11 @@ func TestBothFlowsEquivalent(t *testing.T) {
 	for _, name := range []string{"z4ml", "rd73", "bcd-div3", "cm85a", "pcle", "tcon", "sqr6"} {
 		c, _ := ByName(name)
 		spec := c.Build()
-		ours, err := core.Synthesize(spec, core.DefaultOptions())
+		ours, err := core.Synthesize(context.Background(), spec, core.DefaultOptions())
 		if err != nil {
 			t.Fatalf("%s ours: %v", name, err)
 		}
-		base, err := sisbase.Run(spec, sisbase.DefaultOptions())
+		base, err := sisbase.Run(context.Background(), spec, sisbase.DefaultOptions())
 		if err != nil {
 			t.Fatalf("%s baseline: %v", name, err)
 		}
@@ -141,7 +142,7 @@ func TestBothFlowsEquivalent(t *testing.T) {
 func TestExample1T481(t *testing.T) {
 	c, _ := ByName("t481")
 	spec := c.Build()
-	res, err := core.Synthesize(spec, core.DefaultOptions())
+	res, err := core.Synthesize(context.Background(), spec, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -78,7 +78,13 @@ func fromTruth(name string, n int, outs int, f func(m, o int) bool) *network.Net
 	}
 	for o := 0; o < outs; o++ {
 		g := truthBDD(m, n, func(minterm int) bool { return f(minterm, o) })
-		cover := m.ToCover(g)
+		cover, err := m.ToCover(g)
+		if err != nil {
+			// Programmer invariant: ISOP over a freshly built BDD of a
+			// generated truth table is always exact; an error here is a
+			// kernel bug, not a data condition.
+			panic(err)
+		}
 		var terms []int
 		for _, t := range cover.Terms {
 			var lits []int

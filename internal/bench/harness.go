@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -53,6 +54,15 @@ type Options struct {
 	SIS     sisbase.Options // baseline configuration
 	Verify  bool            // check both results against the specification
 	Include func(c Circuit) bool
+
+	// Timeout bounds each circuit's synthesis (both flows) in wall-clock
+	// time; 0 means no deadline. A circuit that hits it still produces a
+	// row — the budgeted flow degrades instead of failing — and the row's
+	// Note records what fired.
+	Timeout time.Duration
+	// MaxBDDNodes caps the decision-diagram managers of the paper's flow
+	// (both BDD and OFDD); 0 means no cap.
+	MaxBDDNodes int
 }
 
 // DefaultOptions mirrors the paper's experiment.
@@ -65,18 +75,36 @@ func RunCircuit(c Circuit, opt Options) Row {
 	row := Row{Name: c.Name, In: c.In, Out: c.Out, Arith: c.Arith, Note: c.Note, Verified: true}
 	spec := c.Build()
 
-	sisRes, err := sisbase.Run(spec, opt.SIS)
+	ctx := context.Background()
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
+	coreOpt := opt.Core
+	if opt.MaxBDDNodes > 0 {
+		coreOpt.MaxBDDNodes = opt.MaxBDDNodes
+		coreOpt.MaxOFDDNodes = opt.MaxBDDNodes
+	}
+
+	sisRes, err := sisbase.Run(ctx, spec, opt.SIS)
 	if err != nil {
 		row.Err = "sis: " + err.Error()
 		return row
 	}
+	if sisRes.Stopped != "" {
+		row.Note = appendNote(row.Note, "sis stopped: "+sisRes.Stopped)
+	}
 	row.SISLits = sisRes.Stats.Lits
 	row.SISTime = sisRes.Elapsed
 
-	oursRes, err := core.Synthesize(spec, opt.Core)
+	oursRes, err := core.Synthesize(ctx, spec, coreOpt)
 	if err != nil {
 		row.Err = "ours: " + err.Error()
 		return row
+	}
+	if n := len(oursRes.Degradations); n > 0 {
+		row.Note = appendNote(row.Note, fmt.Sprintf("degraded x%d", n))
 	}
 	row.OursLits = oursRes.Stats.Lits
 	row.OursTime = oursRes.Elapsed
@@ -117,6 +145,13 @@ func RunCircuit(c Circuit, opt Options) Row {
 		row.ImprovePower = 100 * (row.SISPower - row.OursPower) / row.SISPower
 	}
 	return row
+}
+
+func appendNote(note, extra string) string {
+	if note == "" {
+		return extra
+	}
+	return note + "; " + extra
 }
 
 // Table2 runs the full benchmark set and returns all rows plus the two

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -46,11 +47,11 @@ func TestQuickFullPipeline(t *testing.T) {
 		spec.AddPO("o2", rng.Intn(len(spec.Gates)))
 		spec.Sweep()
 
-		ours, err := core.Synthesize(spec, core.DefaultOptions())
+		ours, err := core.Synthesize(context.Background(), spec, core.DefaultOptions())
 		if err != nil {
 			return false
 		}
-		base, err := sisbase.Run(spec, sisbase.DefaultOptions())
+		base, err := sisbase.Run(context.Background(), spec, sisbase.DefaultOptions())
 		if err != nil {
 			return false
 		}

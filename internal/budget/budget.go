@@ -1,0 +1,243 @@
+// Package budget provides the resource-governance primitives of the
+// synthesis pipeline: a per-request Budget carrying a deadline (via
+// context.Context), node caps for the BDD/OFDD managers, a cube cap for
+// materialized FPRM forms, and a work-step cap for the hot recursion
+// loops (ITE/apply/FromBDD).
+//
+// The canonical-form flows this repo implements can blow up suddenly on
+// arithmetic circuits (the failure shape Yu & Ciesielski describe for
+// Galois-field arithmetic, and the "unmanageable FPRM forms" the source
+// paper concedes in Section 6). A Budget turns those blowups into a
+// typed, recoverable Err instead of unbounded growth or process death.
+//
+// # Trip mechanism
+//
+// Budget checks sit inside hot recursions whose signatures cannot
+// reasonably carry an error return (every BDD ITE call, every OFDD XOR).
+// A tripped check therefore unwinds with panic(*Err) — a controlled
+// non-local exit in the style of encoding/json — and Guard converts it
+// back into an ordinary error at the phase boundary. The panic never
+// escapes the public API of the packages that use budgets: core and
+// sisbase wrap every budgeted phase in Guard.
+//
+// All methods are safe on a nil *Budget and cost a single nil check, so
+// unbudgeted callers pay nothing.
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Err reports an exhausted resource budget. It identifies the pipeline
+// phase that tripped, which limit was hit, and how much was used.
+type Err struct {
+	Phase string // pipeline phase, e.g. "bdd", "ofdd", "factor", "polarity"
+	Limit string // "deadline", "canceled", "nodes", "cubes", or "steps"
+	Max   int64  // the configured limit (0 for deadline/cancellation)
+	Used  int64  // resource consumption when the check tripped
+}
+
+// Error implements the error interface.
+func (e *Err) Error() string {
+	switch e.Limit {
+	case "deadline", "canceled":
+		return fmt.Sprintf("budget exceeded in %s: %s", e.Phase, e.Limit)
+	}
+	return fmt.Sprintf("budget exceeded in %s: %s limit %d reached (used %d)", e.Phase, e.Limit, e.Max, e.Used)
+}
+
+// IsExceeded reports whether err is (or wraps) a budget exhaustion.
+func IsExceeded(err error) bool {
+	var be *Err
+	return errors.As(err, &be)
+}
+
+// Limits configures the resource caps of a Budget. Zero values mean
+// "unlimited" for that resource; the deadline comes from the context.
+type Limits struct {
+	BDDNodes  int   // max nodes in the shared ROBDD manager
+	OFDDNodes int   // max nodes per OFDD manager
+	Cubes     int64 // max materialized FPRM cubes per output
+	Steps     int64 // max recursion steps (ITE/apply/XOR memo misses) overall
+}
+
+// checkMask amortizes the wall-clock check: time.Now is consulted once
+// every 256 steps, so the per-step overhead in the ITE loop stays at a
+// counter increment and a mask test.
+const checkMask = 255
+
+// Budget is a per-request resource budget shared by every manager and
+// phase of one synthesis run. It is not safe for concurrent use (a run
+// is single-threaded; concurrent runs use separate Budgets).
+type Budget struct {
+	ctx      context.Context
+	deadline time.Time
+	hasDL    bool
+	lim      Limits
+	steps    int64
+	tripped  *Err // first trip, memoized so later checks fail fast
+}
+
+// New returns a Budget over the context's deadline/cancellation and the
+// given limits. A nil ctx is treated as context.Background().
+func New(ctx context.Context, lim Limits) *Budget {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := &Budget{ctx: ctx, lim: lim}
+	if dl, ok := ctx.Deadline(); ok {
+		b.deadline = dl
+		b.hasDL = true
+	}
+	return b
+}
+
+// Limits returns the configured caps.
+func (b *Budget) Limits() Limits {
+	if b == nil {
+		return Limits{}
+	}
+	return b.lim
+}
+
+// Steps returns the number of work steps consumed so far.
+func (b *Budget) Steps() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.steps
+}
+
+// trip raises the budget error. The panic is a controlled non-local exit
+// out of the hot recursion loops; it is recovered by Guard at the calling
+// phase boundary and never escapes the public API of the packages using
+// budgets.
+//
+// Only globally-spent resources are memoized as sticky (deadline,
+// cancellation, steps): once spent they stay spent, so later checks fail
+// fast. Node and cube trips are per-phase — a fresh OFDD manager for the
+// next output starts below its cap again — and must not poison the rest
+// of the run.
+func (b *Budget) trip(phase, limit string, max, used int64) {
+	e := &Err{Phase: phase, Limit: limit, Max: max, Used: used}
+	if b.tripped == nil {
+		switch limit {
+		case "deadline", "canceled", "steps":
+			b.tripped = e
+		}
+	}
+	panic(e)
+}
+
+// Step counts one unit of work (one memo miss in a hot recursion) and
+// trips on step-budget exhaustion; every 256 steps it also checks the
+// deadline and cancellation.
+func (b *Budget) Step(phase string) {
+	if b == nil {
+		return
+	}
+	if b.tripped != nil {
+		b.trip(phase, b.tripped.Limit, b.tripped.Max, b.tripped.Used)
+	}
+	b.steps++
+	if b.lim.Steps > 0 && b.steps > b.lim.Steps {
+		b.trip(phase, "steps", b.lim.Steps, b.steps)
+	}
+	if b.steps&checkMask == 0 {
+		b.checkTime(phase)
+	}
+}
+
+// checkTime trips on an expired deadline or a canceled context.
+func (b *Budget) checkTime(phase string) {
+	if b.hasDL && !time.Now().Before(b.deadline) {
+		b.trip(phase, "deadline", 0, 0)
+	}
+	if err := b.ctx.Err(); err != nil {
+		b.trip(phase, "canceled", 0, 0)
+	}
+}
+
+// CheckBDDNodes trips when the BDD manager has grown past its node cap.
+func (b *Budget) CheckBDDNodes(used int) {
+	if b == nil || b.lim.BDDNodes <= 0 {
+		return
+	}
+	if used > b.lim.BDDNodes {
+		b.trip("bdd", "nodes", int64(b.lim.BDDNodes), int64(used))
+	}
+}
+
+// CheckOFDDNodes trips when an OFDD manager has grown past its node cap.
+func (b *Budget) CheckOFDDNodes(used int) {
+	if b == nil || b.lim.OFDDNodes <= 0 {
+		return
+	}
+	if used > b.lim.OFDDNodes {
+		b.trip("ofdd", "nodes", int64(b.lim.OFDDNodes), int64(used))
+	}
+}
+
+// CheckCubes trips when a materialized cube count exceeds the cube cap.
+func (b *Budget) CheckCubes(phase string, used int64) {
+	if b == nil || b.lim.Cubes <= 0 {
+		return
+	}
+	if used > b.lim.Cubes {
+		b.trip(phase, "cubes", b.lim.Cubes, used)
+	}
+}
+
+// CubesAllowed reports whether a cube count fits the cube cap, without
+// tripping. Callers use it to steer onto a cheaper path (sampling, the
+// OFDD method) before materializing.
+func (b *Budget) CubesAllowed(count int64) bool {
+	if b == nil || b.lim.Cubes <= 0 {
+		return true
+	}
+	return count <= b.lim.Cubes
+}
+
+// Exceeded reports — without panicking — whether the budget is already
+// exhausted (a previous trip, an expired deadline, or a canceled
+// context). Phases that can stop gracefully (polarity search, the
+// sisbase iteration loop) poll this between units of work.
+func (b *Budget) Exceeded() error {
+	if b == nil {
+		return nil
+	}
+	if b.tripped != nil {
+		return b.tripped
+	}
+	if b.hasDL && !time.Now().Before(b.deadline) {
+		b.tripped = &Err{Phase: "poll", Limit: "deadline"}
+		return b.tripped
+	}
+	if b.ctx.Err() != nil {
+		b.tripped = &Err{Phase: "poll", Limit: "canceled"}
+		return b.tripped
+	}
+	return nil
+}
+
+// Guard runs f and converts a budget trip into an ordinary error. Any
+// other panic propagates unchanged (core.Synthesize has a final
+// boundary that tags those with the failing phase).
+func Guard(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if be, ok := r.(*Err); ok {
+				err = be
+				return
+			}
+			// Not a budget trip: re-raise for the caller's residual-panic
+			// boundary. This panic cannot fire for budget errors.
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}

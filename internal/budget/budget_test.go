@@ -1,0 +1,105 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsNoOp(t *testing.T) {
+	var b *Budget
+	b.Step("bdd")
+	b.CheckBDDNodes(1 << 30)
+	b.CheckOFDDNodes(1 << 30)
+	b.CheckCubes("fprm", 1<<40)
+	if !b.CubesAllowed(1 << 40) {
+		t.Fatal("nil budget must allow everything")
+	}
+	if b.Exceeded() != nil {
+		t.Fatal("nil budget never exceeded")
+	}
+}
+
+func TestStepLimitTrips(t *testing.T) {
+	b := New(context.Background(), Limits{Steps: 10})
+	err := Guard(func() {
+		for i := 0; i < 100; i++ {
+			b.Step("bdd")
+		}
+	})
+	if !IsExceeded(err) {
+		t.Fatalf("want budget error, got %v", err)
+	}
+	var be *Err
+	if !errors.As(err, &be) || be.Limit != "steps" || be.Phase != "bdd" || be.Max != 10 {
+		t.Fatalf("bad error detail: %+v", be)
+	}
+	// Later checks fail fast without doing work.
+	if b.Exceeded() == nil {
+		t.Fatal("tripped budget must report Exceeded")
+	}
+}
+
+func TestNodeLimits(t *testing.T) {
+	b := New(context.Background(), Limits{BDDNodes: 5, OFDDNodes: 7})
+	if err := Guard(func() { b.CheckBDDNodes(5) }); err != nil {
+		t.Fatalf("at the limit must pass: %v", err)
+	}
+	if err := Guard(func() { b.CheckBDDNodes(6) }); !IsExceeded(err) {
+		t.Fatalf("want trip, got %v", err)
+	}
+	if err := Guard(func() { b.CheckOFDDNodes(8) }); !IsExceeded(err) {
+		t.Fatalf("want trip, got %v", err)
+	}
+}
+
+func TestDeadlineTrips(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond)
+	b := New(ctx, Limits{})
+	err := Guard(func() {
+		for i := 0; i < 10000; i++ { // amortized check fires within 256 steps
+			b.Step("ofdd")
+		}
+	})
+	if !IsExceeded(err) {
+		t.Fatalf("want deadline trip, got %v", err)
+	}
+	if b.Exceeded() == nil {
+		t.Fatal("expired deadline must poll as exceeded")
+	}
+}
+
+func TestCancellationPolls(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(ctx, Limits{})
+	if b.Exceeded() != nil {
+		t.Fatal("fresh context not exceeded")
+	}
+	cancel()
+	if err := b.Exceeded(); err == nil || !IsExceeded(err) {
+		t.Fatalf("canceled context must poll as exceeded, got %v", err)
+	}
+}
+
+func TestCubesAllowed(t *testing.T) {
+	b := New(context.Background(), Limits{Cubes: 100})
+	if !b.CubesAllowed(100) || b.CubesAllowed(101) {
+		t.Fatal("cube cap boundary wrong")
+	}
+	if err := Guard(func() { b.CheckCubes("fprm", 200) }); !IsExceeded(err) {
+		t.Fatalf("want cube trip, got %v", err)
+	}
+}
+
+func TestGuardPassesForeignPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("foreign panic must propagate through Guard")
+		}
+	}()
+	_ = Guard(func() { panic(fmt.Errorf("unrelated")) })
+}

@@ -18,11 +18,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/bdd"
+	"repro/internal/budget"
 	"repro/internal/cube"
 	"repro/internal/esop"
 	"repro/internal/factor"
@@ -30,7 +34,13 @@ import (
 	"repro/internal/network"
 	"repro/internal/ofdd"
 	"repro/internal/redund"
+	"repro/internal/verify"
 )
+
+// ErrNotEquivalent reports that the safety-net equivalence check failed:
+// the synthesized network does not match the specification. It indicates
+// a bug in the flow, never a property of the input.
+var ErrNotEquivalent = errors.New("synthesized network not equivalent to specification")
 
 // Method selects the algebraic factorization algorithm of Section 3.
 type Method int
@@ -92,6 +102,18 @@ type Options struct {
 	// unmanageable FPRM forms, the limitation Section 6 of the paper
 	// states — the optimized specification is returned instead.
 	NoFallback bool
+
+	// Resource budget (0 = unlimited). The wall-clock deadline comes from
+	// the context passed to Synthesize. When a budget is exhausted the
+	// flow degrades per output down the ladder — polarity search →
+	// all-positive polarity → Method 1 → OFDD method → structural copy of
+	// the specification cone — and Result.Degradations records every
+	// fallback that fired; the returned network is always verified
+	// equivalent (Options.Verify).
+	MaxBDDNodes  int   // cap on the shared ROBDD manager's node count
+	MaxOFDDNodes int   // cap on each per-output OFDD manager's node count
+	MaxCubes     int64 // cap on materialized FPRM cubes per output
+	MaxSteps     int64 // cap on total recursion work steps across the run
 }
 
 // DefaultOptions returns the paper's flow: cube-method factorization with
@@ -145,6 +167,17 @@ func (o Options) exhaustiveLimit() int {
 	return 10
 }
 
+// Degradation records one fallback step of the graceful-degradation
+// ladder: which output was affected (the PO name, or "*" for a
+// network-wide step), which pipeline stage hit its budget, what was used
+// instead, and why.
+type Degradation struct {
+	Output   string // PO name, or "*" for the whole network
+	Stage    string // pipeline stage: "spec-bdd", "fprm", "polarity-search", "factor", "redund", "merge", "do-no-harm"
+	Fallback string // what ran instead: "swept-spec", "spec-cone", "best-so-far", "skipped"
+	Reason   string // the budget error or condition that triggered it
+}
+
 // Result is the outcome of a synthesis run.
 type Result struct {
 	Network *network.Network
@@ -154,21 +187,82 @@ type Result struct {
 	// Fallback reports that the FPRM result was larger than the cleaned
 	// specification, which was returned instead (see Options.NoFallback).
 	Fallback bool
+	// Degradations lists every fallback the graceful-degradation ladder
+	// took, in the order they fired. Empty for a fully unconstrained run.
+	Degradations []Degradation
 	// CubeCounts holds the exact FPRM cube count per output.
 	CubeCounts []int64
 	// Elapsed is the synthesis wall-clock time.
 	Elapsed time.Duration
 }
 
+// FallbackReport renders the degradation ladder's activity as one line
+// per fallback, or "" when nothing degraded.
+func (r *Result) FallbackReport() string {
+	if len(r.Degradations) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, d := range r.Degradations {
+		fmt.Fprintf(&b, "output %s: %s -> %s (%s)\n", d.Output, d.Stage, d.Fallback, d.Reason)
+	}
+	return b.String()
+}
+
 // Synthesize runs the full flow on the functional specification given as a
 // gate network and returns a new, functionally equivalent network.
-func Synthesize(spec *network.Network, opt Options) (*Result, error) {
+//
+// The context carries the wall-clock deadline and cancellation; together
+// with the Max* fields of Options it forms the run's resource budget.
+// Budget exhaustion never fails the call: the flow degrades per output
+// (see Options and Result.Degradations) and still returns an equivalent
+// network — at worst a swept structural copy of the specification. A nil
+// ctx is treated as context.Background().
+func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *Result, err error) {
 	start := time.Now()
-	nPI := spec.NumPIs()
-	bm := bdd.New(nPI)
-	outs := spec.ToBDDs(bm)
+	phase := "setup"
+	// Single residual-panic boundary: anything that escapes the per-phase
+	// budget.Guard wrappers (a genuine bug) is turned into a phase-tagged
+	// error instead of killing the process.
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			if be, ok := r.(*budget.Err); ok {
+				err = fmt.Errorf("core: unguarded budget trip in %s: %w", phase, be)
+				return
+			}
+			err = fmt.Errorf("core: internal panic in %s: %v", phase, r)
+		}
+	}()
 
-	res := &Result{}
+	nPI := spec.NumPIs()
+	bud := budget.New(ctx, budget.Limits{
+		BDDNodes:  opt.MaxBDDNodes,
+		OFDDNodes: opt.MaxOFDDNodes,
+		Cubes:     opt.MaxCubes,
+		Steps:     opt.MaxSteps,
+	})
+	if perr := bud.Exceeded(); perr != nil {
+		// Deadline already expired (or context canceled) before any work:
+		// bottom of the ladder immediately.
+		return fallbackToSpec(spec, opt, perr.Error(), start)
+	}
+	bm := bdd.New(nPI)
+	bm.SetBudget(bud)
+	phase = "spec-bdd"
+	var outs []bdd.Ref
+	if gerr := budget.Guard(func() { outs = spec.ToBDDs(bm) }); gerr != nil {
+		// Cannot even build the specification BDDs within budget: the
+		// whole FPRM flow is out of reach, ship the swept spec.
+		return fallbackToSpec(spec, opt, gerr.Error(), start)
+	}
+
+	res = &Result{}
+	degrade := func(output, stage, fallback, reason string) {
+		res.Degradations = append(res.Degradations, Degradation{
+			Output: output, Stage: stage, Fallback: fallback, Reason: reason,
+		})
+	}
 	net := network.New(spec.Name + "_rm")
 	pis := make([]int, nPI)
 	for i, piID := range spec.PIs {
@@ -185,7 +279,7 @@ func Synthesize(spec *network.Network, opt Options) (*Result, error) {
 	// vector (registry cube lists live in literal space, which only
 	// matches between identical vectors). This is the cross-output
 	// subfunction reuse the paper obtains with SIS resub.
-	fopt := factor.Options{ApplyRules: opt.Rules}
+	fopt := factor.Options{ApplyRules: opt.Rules, Budget: bud}
 	cubeCtxs := make(map[string]*factor.Context)
 	ofddCtxs := make(map[string]*factor.OFDDContext)
 	polKey := func(pol []bool) string {
@@ -200,17 +294,43 @@ func Synthesize(spec *network.Network, opt Options) (*Result, error) {
 		return string(k)
 	}
 
+	// Per-output FPRM derivation, each step of the ladder guarded: an
+	// output whose OFDD, cube extraction, or budget blows falls back to a
+	// structural copy of its specification cone (cone[oi]), never failing
+	// the run.
+	phase = "fprm"
 	res.Forms = make([]*fprm.Form, len(outs))
 	res.CubeCounts = make([]int64, len(outs))
-	huge := make([]bool, len(outs))
+	cone := make([]bool, len(outs))
 	for oi, f := range outs {
-		form, count, isHuge, err := deriveForm(bm, f, opt)
-		if err != nil {
-			return nil, fmt.Errorf("output %s: %w", spec.POs[oi].Name, err)
+		oname := spec.POs[oi].Name
+		if perr := bud.Exceeded(); perr != nil {
+			res.Forms[oi] = fprm.NewForm(nPI, nil)
+			res.CubeCounts[oi] = -1
+			cone[oi] = true
+			degrade(oname, "fprm", "spec-cone", perr.Error())
+			continue
+		}
+		var form *fprm.Form
+		var count int64
+		var isHuge, searchCut bool
+		gerr := budget.Guard(func() { form, count, isHuge, searchCut = deriveForm(bm, f, opt, bud) })
+		if gerr != nil {
+			res.Forms[oi] = fprm.NewForm(nPI, nil)
+			res.CubeCounts[oi] = -1
+			cone[oi] = true
+			degrade(oname, "fprm", "spec-cone", gerr.Error())
+			continue
+		}
+		if isHuge {
+			cone[oi] = true
+			degrade(oname, "fprm", "spec-cone", "OFDD node cap exceeded")
+		}
+		if searchCut {
+			degrade(oname, "polarity-search", "best-so-far", "budget exhausted during polarity search")
 		}
 		res.Forms[oi] = form
 		res.CubeCounts[oi] = count
-		huge[oi] = isHuge
 	}
 
 	// Factor outputs smallest-first so the divisor registry is populated
@@ -225,55 +345,82 @@ func Synthesize(spec *network.Network, opt Options) (*Result, error) {
 		return res.CubeCounts[orderAsc[a]] < res.CubeCounts[orderAsc[b]]
 	})
 
+	phase = "factor"
+	cubeMethodCap := effectiveCap(opt.cubeMethodLimit(), bud.Limits().Cubes)
 	exprs := make([]*factor.Expr, len(outs))
 	for _, oi := range orderAsc {
-		if huge[oi] {
+		if cone[oi] {
 			continue // handled by spec-cone copy below
 		}
+		oname := spec.POs[oi].Name
+		if perr := bud.Exceeded(); perr != nil {
+			cone[oi] = true
+			degrade(oname, "factor", "spec-cone", perr.Error())
+			continue
+		}
 		form := res.Forms[oi]
-		var e *factor.Expr
 		key := polKey(form.Polarity)
-		useCube := opt.method() == MethodCube && res.CubeCounts[oi] <= int64(opt.cubeMethodLimit())
-		if useCube && opt.ESOP {
-			if de := deriveESOP(form, fopt, cubeCtxs); de != nil {
-				exprs[oi] = de
-				continue
-			}
+		// Over-cap cube lists must never feed the cube method (a sampled
+		// list would synthesize the wrong function); they route to the
+		// OFDD method, which factors the exact decision diagram.
+		useCube := opt.method() == MethodCube && res.CubeCounts[oi] <= int64(cubeMethodCap)
+		if opt.method() == MethodCube && !useCube && res.CubeCounts[oi] <= int64(opt.cubeMethodLimit()) {
+			// The configured limit would have allowed Method 1; only the
+			// budget forced the OFDD route. Record the ladder step.
+			degrade(oname, "cube-method", "ofdd-method",
+				fmt.Sprintf("cube budget %d below FPRM cube count %d", bud.Limits().Cubes, res.CubeCounts[oi]))
 		}
-		if useCube {
-			cx, ok := cubeCtxs[key]
-			if !ok {
-				cx = factor.NewContext(fopt)
-				cubeCtxs[key] = cx
+		gerr := budget.Guard(func() {
+			var e *factor.Expr
+			if useCube && opt.ESOP {
+				if de := deriveESOP(form, fopt, cubeCtxs); de != nil {
+					exprs[oi] = de
+					return
+				}
 			}
-			e = cx.Factor(form.Cubes)
-		} else {
-			cx, ok := ofddCtxs[key]
-			if !ok {
-				cx = factor.NewOFDDContext(ofdd.New(nPI, form.Polarity), fopt)
-				ofddCtxs[key] = cx
+			if useCube {
+				cx, ok := cubeCtxs[key]
+				if !ok {
+					cx = factor.NewContext(fopt)
+					cubeCtxs[key] = cx
+				}
+				e = cx.Factor(form.Cubes)
+			} else {
+				cx, ok := ofddCtxs[key]
+				if !ok {
+					om := ofdd.New(nPI, form.Polarity)
+					om.SetBudget(bud)
+					cx = factor.NewOFDDContext(om, fopt)
+					ofddCtxs[key] = cx
+				}
+				e = cx.Factor(cx.M.FromBDD(bm, outs[oi]))
 			}
-			e = cx.Factor(cx.M.FromBDD(bm, outs[oi]))
+			// Rewrite literal space into PI space so one emitter serves all
+			// outputs even when their polarity vectors differ.
+			exprs[oi] = applyPolarity(e, form.Polarity)
+		})
+		if gerr != nil {
+			cone[oi] = true
+			exprs[oi] = nil
+			degrade(oname, "factor", "spec-cone", gerr.Error())
 		}
-		// Rewrite literal space into PI space so one emitter serves all
-		// outputs even when their polarity vectors differ.
-		exprs[oi] = applyPolarity(e, form.Polarity)
 	}
 
+	phase = "emit"
 	poGate := make([]int, len(outs))
 	for i := len(orderAsc) - 1; i >= 0; i-- {
 		oi := orderAsc[i]
-		if huge[oi] {
+		if cone[oi] {
 			continue
 		}
 		poGate[oi] = em.Emit(exprs[oi])
 	}
 	// Outputs whose functional decision diagrams exploded (Section 6:
-	// the method targets functions with manageable FPRM forms) keep
-	// their original cone, copied structurally.
+	// the method targets functions with manageable FPRM forms) or whose
+	// budget ran out keep their original cone, copied structurally.
 	copier := newConeCopier(spec, net, pis)
 	for oi := range outs {
-		if huge[oi] {
+		if cone[oi] {
 			poGate[oi] = copier.copy(spec.POs[oi].Gate)
 		}
 	}
@@ -287,34 +434,64 @@ func Synthesize(spec *network.Network, opt Options) (*Result, error) {
 	// Prepare the do-no-harm reference early: when the factored network
 	// is already far larger than the cleaned specification, redundancy
 	// removal cannot close the gap and the time is better saved.
+	phase = "do-no-harm-prep"
 	var specOpt *network.Network
 	if !opt.NoFallback {
 		specOpt = spec.Clone()
 		specOpt.Sweep()
 		specOpt.Strash()
 		if opt.MergeNodes {
-			MergeEquivalentGates(specOpt, bm)
+			// MergeEquivalentGates only mutates after its signature loop
+			// completes, so a budget trip mid-loop leaves specOpt intact.
+			if gerr := budget.Guard(func() { MergeEquivalentGates(specOpt, bm) }); gerr != nil {
+				degrade("*", "merge", "skipped", gerr.Error())
+			}
 		}
 		specOpt.Sweep()
 	}
 	hopeless := specOpt != nil && net.CollectStats().Gates2 > 8*specOpt.CollectStats().Gates2
 
+	phase = "redund"
 	if opt.Redund && !hopeless {
-		res.Redund = redund.Remove(net, redund.Options{
-			Forms:  res.Forms,
-			Verify: opt.Verify,
-		})
+		if perr := bud.Exceeded(); perr != nil {
+			degrade("*", "redund", "skipped", perr.Error())
+		} else {
+			// Snapshot first: a budget trip inside the pass could land
+			// mid-rewrite, and a half-applied candidate must not survive.
+			snap := net.Clone()
+			gerr := budget.Guard(func() {
+				res.Redund = redund.Remove(net, redund.Options{
+					Forms:  res.Forms,
+					Verify: opt.Verify,
+					Budget: bud,
+				})
+			})
+			if gerr != nil {
+				net = snap
+				res.Redund = redund.Result{}
+				degrade("*", "redund", "skipped", gerr.Error())
+			}
+		}
 	}
+	phase = "merge"
 	if opt.MergeNodes {
-		MergeEquivalentGates(net, bm)
+		// Safe without a snapshot: mutation happens only after the BDD
+		// signature loop, the sole place a budget trip can occur.
+		if gerr := budget.Guard(func() { MergeEquivalentGates(net, bm) }); gerr != nil {
+			degrade("*", "merge", "skipped", gerr.Error())
+		}
 		net.Sweep()
 	}
 	// Safety net: the synthesized network must match the specification.
+	// The budget is detached first — verification must always run to
+	// completion, even (especially) after a deadline trip.
 	if opt.Verify {
+		phase = "verify"
+		bm.SetBudget(nil)
 		got := net.ToBDDs(bm)
 		for i := range got {
 			if got[i] != outs[i] {
-				return nil, fmt.Errorf("core: internal error: output %s not equivalent after synthesis", spec.POs[i].Name)
+				return nil, fmt.Errorf("core: output %s: %w", spec.POs[i].Name, ErrNotEquivalent)
 			}
 		}
 	}
@@ -329,10 +506,67 @@ func Synthesize(spec *network.Network, opt Options) (*Result, error) {
 			res.Network = specOpt
 			res.Stats = st
 			res.Fallback = true
+			degrade("*", "do-no-harm", "swept-spec", "FPRM result larger than cleaned specification")
 		}
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// effectiveCap folds an optional budget cube cap into a configured limit:
+// the tighter of the two governs.
+func effectiveCap(base int, budCubes int64) int {
+	if budCubes > 0 && budCubes < int64(base) {
+		return int(budCubes)
+	}
+	return base
+}
+
+// fallbackToSpec is the bottom rung of the degradation ladder: the budget
+// was exhausted before the FPRM flow could even start (or the specifica-
+// tion BDDs blew the budget), so return a swept structural copy of the
+// specification. Sweep and Strash preserve the function by construction;
+// when Verify is on this is double-checked by simulation, since the BDD
+// route is exactly what just exceeded its budget.
+func fallbackToSpec(spec *network.Network, opt Options, reason string, start time.Time) (*Result, error) {
+	net := spec.Clone()
+	net.Name = spec.Name + "_rm"
+	net.Strash()
+	net.Sweep()
+	res := &Result{
+		Network:  net,
+		Stats:    net.CollectStats(),
+		Fallback: true,
+		Degradations: []Degradation{{
+			Output: "*", Stage: "spec-bdd", Fallback: "swept-spec", Reason: reason,
+		}},
+	}
+	if opt.Verify {
+		if err := simVerify(spec, net); err != nil {
+			return nil, err
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// simVerify checks equivalence by simulation: exhaustively up to 16
+// inputs, randomized beyond (the fallback path cannot afford BDDs).
+func simVerify(spec, net *network.Network) error {
+	if spec.NumPIs() <= 16 {
+		ok, err := verify.Exhaustive(spec, net)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("core: fallback network: %w", ErrNotEquivalent)
+		}
+		return nil
+	}
+	if o := verify.RandomCheck(spec, net, 4096, 1); o >= 0 {
+		return fmt.Errorf("core: fallback network output %d: %w", o, ErrNotEquivalent)
+	}
+	return nil
 }
 
 // ofddNodeBudget caps functional-decision-diagram growth per output; an
@@ -343,43 +577,62 @@ const ofddNodeBudget = 200_000
 
 // deriveForm computes the FPRM form of one output with the configured
 // polarity search. For outputs whose cube count exceeds the materialize
-// limit, a sampled form (for pattern generation) is returned; outputs
-// whose OFDD itself explodes come back with huge=true and an empty form.
-func deriveForm(bm *bdd.Manager, f bdd.Ref, opt Options) (form *fprm.Form, count int64, huge bool, err error) {
+// limit, a sampled form (for pattern generation) is returned — the
+// sampled list is only ever used for redundancy-removal patterns, never
+// factored (factoring an incomplete list would change the function);
+// outputs whose OFDD explodes come back with huge=true and an empty
+// form. searchCut reports a polarity search stopped early by the budget
+// (the returned best-so-far form is still exact). The caller wraps this
+// in budget.Guard; a budget trip inside unwinds as panic(*budget.Err).
+func deriveForm(bm *bdd.Manager, f bdd.Ref, opt Options, bud *budget.Budget) (form *fprm.Form, count int64, huge, searchCut bool) {
 	n := bm.NumVars()
 	om := ofdd.New(n, nil)
-	ref, ok := om.FromBDDBounded(bm, f, ofddNodeBudget)
+	om.SetBudget(bud)
+	nodeCap := ofddNodeBudget
+	if c := bud.Limits().OFDDNodes; c > 0 && c < nodeCap {
+		nodeCap = c
+	}
+	ref, ok := om.FromBDDBounded(bm, f, nodeCap)
 	if !ok {
-		return fprm.NewForm(n, nil), -1, true, nil
+		return fprm.NewForm(n, nil), -1, true, false
 	}
 	count = om.CubeCount(ref)
-	if count > int64(opt.cubeMethodLimit()) {
+	cubeMethodCap := effectiveCap(opt.cubeMethodLimit(), bud.Limits().Cubes)
+	if count > int64(cubeMethodCap) {
 		// Too large to materialize: keep all-positive polarity and sample
 		// only as many cubes as the redundancy-removal pattern budget can
 		// use anyway.
-		sample := 2048
+		sample := effectiveCap(2048, bud.Limits().Cubes)
 		if opt.cubeLimit() < sample {
 			sample = opt.cubeLimit()
 		}
 		form = fprm.NewForm(n, nil)
 		form.Cubes = om.CubesSample(ref, sample)
-		return form, count, false, nil
+		return form, count, false, false
 	}
 	form = fprm.NewForm(n, nil)
-	form.Cubes = om.Cubes(ref, opt.cubeMethodLimit()+1)
+	cubes, err := om.Cubes(ref, cubeMethodCap+1)
+	if err != nil {
+		// Programmer invariant: CubeCount just reported count ≤ the cap,
+		// so extraction from the same diagram cannot exceed it.
+		panic(err)
+	}
+	form.Cubes = cubes
 	if count <= int64(opt.searchCubeLimit()) {
+		complete := true
 		switch opt.Polarity {
 		case PolarityGreedy:
-			form = fprm.SearchGreedy(form)
+			form, complete = fprm.SearchGreedyBudget(form, bud)
 		case PolarityExhaustive:
 			if n <= opt.exhaustiveLimit() {
-				form = fprm.SearchExhaustive(form)
+				form, complete = fprm.SearchExhaustiveBudget(form, bud)
 			} else {
-				form = fprm.SearchGreedy(form)
+				form, complete = fprm.SearchGreedyBudget(form, bud)
 			}
 		}
+		searchCut = !complete
 	}
-	return form, int64(form.Cubes.Len()), false, nil
+	return form, int64(form.Cubes.Len()), false, searchCut
 }
 
 // deriveESOP minimizes the form as a mixed-polarity ESOP; when that is
@@ -530,6 +783,8 @@ func applyPolarity(e *factor.Expr, pol []bool) *factor.Expr {
 // Gates are merged onto their earliest topological representative.
 func MergeEquivalentGates(net *network.Network, bm *bdd.Manager) int {
 	if bm.NumVars() != net.NumPIs() {
+		// Programmer invariant: callers pass the manager the network's
+		// BDDs were built in; a variable-count mismatch is a call-site bug.
 		panic("core: manager mismatch")
 	}
 	const sizeCap = 2_000_000
@@ -621,5 +876,7 @@ func evalBDD(bm *bdd.Manager, t network.GateType, ins []bdd.Ref) bdd.Ref {
 		}
 		return v
 	}
+	// Programmer invariant: GateType is a closed enum; PI/Const cases are
+	// handled by the caller and every logic type is covered above.
 	panic("core: bad gate type")
 }

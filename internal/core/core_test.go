@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -88,7 +89,7 @@ func equivalent(t *testing.T, a, b *network.Network) {
 // gates. Our flow must reproduce that.
 func TestExample1T481FullFlow(t *testing.T) {
 	spec := specT481()
-	res, err := Synthesize(spec, DefaultOptions())
+	res, err := Synthesize(context.Background(), spec, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestExample1T481FullFlow(t *testing.T) {
 // paper reaches 21 2-input gates (42 lits) vs SIS's 24.
 func TestExample2Z4mlFullFlow(t *testing.T) {
 	spec := specAdder(3, true)
-	res, err := Synthesize(spec, DefaultOptions())
+	res, err := Synthesize(context.Background(), spec, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestMethodComparison(t *testing.T) {
 	for _, m := range []Method{MethodCube, MethodOFDD} {
 		opt := DefaultOptions()
 		opt.Method = m
-		res, err := Synthesize(spec, opt)
+		res, err := Synthesize(context.Background(), spec, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func TestPolarityStrategies(t *testing.T) {
 	for _, p := range []Polarity{PolarityPositive, PolarityGreedy, PolarityExhaustive} {
 		opt := DefaultOptions()
 		opt.Polarity = p
-		res, err := Synthesize(spec, opt)
+		res, err := Synthesize(context.Background(), spec, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,7 +170,7 @@ func TestPolarityStrategies(t *testing.T) {
 func TestLargeAdder(t *testing.T) {
 	spec := specAdder(16, true)
 	opt := DefaultOptions()
-	res, err := Synthesize(spec, opt)
+	res, err := Synthesize(context.Background(), spec, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestQuickSynthesisPreserves(t *testing.T) {
 		}
 		spec.AddPO("o1", len(spec.Gates)-1)
 		spec.AddPO("o2", rng.Intn(len(spec.Gates)))
-		res, err := Synthesize(spec, DefaultOptions())
+		res, err := Synthesize(context.Background(), spec, DefaultOptions())
 		if err != nil {
 			return false
 		}
@@ -253,7 +254,7 @@ func TestConstantOutput(t *testing.T) {
 	spec := network.New("c")
 	a := spec.AddPI("a")
 	spec.AddPO("z", spec.AddGate(network.Xor, a, a)) // = 0
-	res, err := Synthesize(spec, DefaultOptions())
+	res, err := Synthesize(context.Background(), spec, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestBufferOutput(t *testing.T) {
 	spec := network.New("b")
 	a := spec.AddPI("a")
 	spec.AddPO("z", a)
-	res, err := Synthesize(spec, DefaultOptions())
+	res, err := Synthesize(context.Background(), spec, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

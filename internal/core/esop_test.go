@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/network"
@@ -88,13 +89,13 @@ func TestESOPOptionOn9sym(t *testing.T) {
 	spec := buildSym(9)
 	base := DefaultOptions()
 	base.NoFallback = true
-	resOff, err := Synthesize(spec, base)
+	resOff, err := Synthesize(context.Background(), spec, base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	on := base
 	on.ESOP = true
-	resOn, err := Synthesize(spec, on)
+	resOn, err := Synthesize(context.Background(), spec, on)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestESOPOptionPreservesAdder(t *testing.T) {
 	spec := specAdder(4, true)
 	opt := DefaultOptions()
 	opt.ESOP = true
-	res, err := Synthesize(spec, opt)
+	res, err := Synthesize(context.Background(), spec, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -173,7 +173,10 @@ func TestESOPBeatsFPRMOn9sym(t *testing.T) {
 			g = m.Or(g, p)
 		}
 	}
-	form := fprm.FromBDD(m, g, nil, 0)
+	form, err := fprm.FromBDD(m, g, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	form = fprm.SearchGreedy(form)
 	l := FromFPRM(form)
 	before := l.Len()

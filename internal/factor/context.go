@@ -74,6 +74,7 @@ func (cx *Context) factorGroup(l *cube.List) *Expr {
 	if e, ok := cx.memo[key]; ok {
 		return e
 	}
+	cx.opt.Budget.Step("factor")
 	e := cx.factorGroupUncached(l)
 	if cx.opt.ApplyRules {
 		e = ApplyRules(e, cx.opt.maxPasses())

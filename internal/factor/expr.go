@@ -279,6 +279,8 @@ func (e *Expr) Eval(lits []bool) bool {
 		}
 		return v
 	}
+	// Programmer invariant: Op is a closed enum fully covered above; a new
+	// Op value without an Eval case is a bug in this package.
 	panic("factor: bad op")
 }
 

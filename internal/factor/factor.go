@@ -1,6 +1,7 @@
 package factor
 
 import (
+	"repro/internal/budget"
 	"repro/internal/cube"
 	"repro/internal/ofdd"
 )
@@ -13,6 +14,11 @@ type Options struct {
 	ApplyRules bool
 	// MaxRulePasses bounds the fixpoint iteration (0 = default 8).
 	MaxRulePasses int
+	// Budget, when non-nil, meters the factoring recursion: each group
+	// factorization and OFDD node visit counts a step, and exhaustion
+	// unwinds with panic(*budget.Err) to be recovered by budget.Guard in
+	// the caller (see package budget).
+	Budget *budget.Budget
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -113,6 +119,7 @@ func (cx *OFDDContext) Factor(f ofdd.Ref) *Expr {
 		if e, ok := cx.memo[f]; ok {
 			return e
 		}
+		cx.opt.Budget.Step("factor")
 		v := cx.M.TopVar(f)
 		lo := rec(cx.M.Lo(f))
 		hi := rec(cx.M.Hi(f))

@@ -15,6 +15,7 @@ import (
 	"math/bits"
 
 	"repro/internal/bdd"
+	"repro/internal/budget"
 	"repro/internal/cube"
 	"repro/internal/ofdd"
 )
@@ -118,6 +119,8 @@ func FromTruthTable(n int, tt []uint64, polarity []bool) *Form {
 	size := 1 << uint(n)
 	words := (size + 63) / 64
 	if len(tt) < words {
+		// Programmer invariant: callers size the truth-table slice from the
+		// same n they pass here; a short slice is a call-site bug.
 		panic("fprm: truth table too short")
 	}
 	w := append([]uint64(nil), tt[:words]...)
@@ -200,13 +203,17 @@ func max(a, b int) int {
 
 // FromBDD computes the FPRM form of a BDD function under the given
 // polarity by building the OFDD and extracting its cubes. cubeLimit caps
-// extraction (≤0 = unlimited).
-func FromBDD(m *bdd.Manager, f bdd.Ref, polarity []bool, cubeLimit int) *Form {
+// extraction (≤0 = unlimited); it returns an error past the cap.
+func FromBDD(m *bdd.Manager, f bdd.Ref, polarity []bool, cubeLimit int) (*Form, error) {
 	om := ofdd.New(m.NumVars(), polarity)
 	of := om.FromBDD(m, f)
 	form := NewForm(m.NumVars(), polarity)
-	form.Cubes = om.Cubes(of, cubeLimit)
-	return form
+	cubes, err := om.Cubes(of, cubeLimit)
+	if err != nil {
+		return nil, err
+	}
+	form.Cubes = cubes
+	return form, nil
 }
 
 // CubeCountFromBDD returns the FPRM cube count for a polarity without
@@ -221,11 +228,25 @@ func CubeCountFromBDD(m *bdd.Manager, f bdd.Ref, polarity []bool) int64 {
 // Intended for n ≤ maxExhaustiveVars (the caller should check); cost is
 // O(2ⁿ · m) cube operations.
 func SearchExhaustive(start *Form) *Form {
+	best, _ := SearchExhaustiveBudget(start, nil)
+	return best
+}
+
+// SearchExhaustiveBudget is SearchExhaustive under a budget: the Gray-code
+// walk polls the budget every 64 steps and stops early when it is
+// exhausted, returning the best form seen so far and whether the walk
+// completed. The partial result is always a valid form of the function
+// (every step preserves it), so an early stop degrades quality, never
+// correctness.
+func SearchExhaustiveBudget(start *Form, b *budget.Budget) (best *Form, complete bool) {
 	n := start.NumVars
 	cur := start.Clone()
-	best := start.Clone()
+	best = start.Clone()
 	total := 1 << uint(n)
 	for g := 1; g < total; g++ {
+		if g&63 == 0 && b.Exceeded() != nil {
+			return best, false
+		}
 		// Gray code: flip the variable at the lowest set bit of g.
 		v := bits.TrailingZeros(uint(g))
 		cur.FlipPolarity(v)
@@ -234,19 +255,30 @@ func SearchExhaustive(start *Form) *Form {
 			best = cur.Clone()
 		}
 	}
-	return best
+	return best, true
 }
 
 // SearchGreedy improves the polarity by coordinate descent: repeatedly
 // flip the single variable whose flip most reduces the cube count (ties
 // broken by literal count) until no flip helps.
 func SearchGreedy(start *Form) *Form {
+	best, _ := SearchGreedyBudget(start, nil)
+	return best
+}
+
+// SearchGreedyBudget is SearchGreedy under a budget: the descent polls the
+// budget before every trial flip and stops early when exhausted, returning
+// the best form so far and whether the descent ran to a local optimum.
+func SearchGreedyBudget(start *Form, b *budget.Budget) (best *Form, complete bool) {
 	cur := start.Clone()
 	for {
 		bestV := -1
 		bestCubes := cur.Cubes.Len()
 		bestLits := cur.Cubes.Literals()
 		for v := 0; v < cur.NumVars; v++ {
+			if b.Exceeded() != nil {
+				return cur, false
+			}
 			trial := cur.Clone()
 			trial.FlipPolarity(v)
 			if trial.Cubes.Len() < bestCubes ||
@@ -257,7 +289,7 @@ func SearchGreedy(start *Form) *Form {
 			}
 		}
 		if bestV < 0 {
-			return cur
+			return cur, true
 		}
 		cur.FlipPolarity(bestV)
 	}

@@ -83,8 +83,8 @@ func TestQuickTransformMatchesBDDRoute(t *testing.T) {
 			}
 		}
 		f1 := FromTruthTable(n, tt, pol)
-		f2 := FromBDD(m, g, pol, 0)
-		return f1.Cubes.Equal(f2.Cubes)
+		f2, err := FromBDD(m, g, pol, 0)
+		return err == nil && f1.Cubes.Equal(f2.Cubes)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)

@@ -157,6 +157,9 @@ func ReadBLIF(r io.Reader) (*Network, error) {
 		case ".outputs":
 			outputs = append(outputs, fields[1:]...)
 		case ".names":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif: .names without signals")
+			}
 			blk := namesBlock{signals: fields[1:]}
 			for i+1 < len(lines) && !strings.HasPrefix(lines[i+1], ".") {
 				i++
@@ -235,6 +238,9 @@ func buildNamesBlock(n *Network, sig map[string]int, signals, rows []string) (in
 		fields := strings.Fields(row)
 		if len(fields) != 2 || len(fields[0]) != k {
 			return 0, fmt.Errorf("blif: malformed row %q for %s", row, signals[k])
+		}
+		if fields[1] != "0" && fields[1] != "1" {
+			return 0, fmt.Errorf("blif: bad output value %q in row %q", fields[1], row)
 		}
 		outPhase = fields[1][0]
 		var lits []int

@@ -79,6 +79,10 @@ func (n *Network) AddPI(name string) int {
 
 // AddGate appends a gate of the given type and returns its ID. Fanin IDs
 // must already exist.
+//
+// The shape checks below are programmer invariants guarding API misuse
+// at construction sites (all fanin IDs and arities are chosen by code,
+// not data); parsers validate their input before calling AddGate.
 func (n *Network) AddGate(t GateType, fanins ...int) int {
 	for _, f := range fanins {
 		if f < 0 || f >= len(n.Gates) {
@@ -138,6 +142,9 @@ func (n *Network) TopoOrder() []int {
 		case 2:
 			return
 		case 1:
+			// Programmer invariant: AddGate only accepts already-existing
+			// fanins, so a constructed network is acyclic by induction;
+			// parsers (ReadBLIF) reject forward references and cycles.
 			panic("network: combinational cycle")
 		}
 		state[id] = 1
@@ -211,6 +218,8 @@ func evalGate(t GateType, in []uint64) uint64 {
 		}
 		return v
 	}
+	// Programmer invariant: GateType is a closed enum and PI is handled by
+	// every caller before dispatching here.
 	panic("network: evalGate on PI")
 }
 
@@ -220,6 +229,7 @@ func evalGate(t GateType, in []uint64) uint64 {
 // PIs; unreachable gates are zero).
 func (n *Network) Simulate(piWords []uint64) []uint64 {
 	if len(piWords) != len(n.PIs) {
+		// Programmer invariant: callers size piWords from n.PIs itself.
 		panic("network: wrong number of PI words")
 	}
 	val := make([]uint64, len(n.Gates))
@@ -489,6 +499,8 @@ func (n *Network) Strash() int {
 // PI (in PIs order). Gates outside the PO cone are ignored.
 func (n *Network) ToBDDs(m *bdd.Manager) []bdd.Ref {
 	if m.NumVars() != len(n.PIs) {
+		// Programmer invariant: callers allocate the manager from
+		// NumPIs() of this network (or a network with the same inputs).
 		panic("network: BDD manager size mismatch")
 	}
 	val := make([]bdd.Ref, len(n.Gates))
@@ -550,6 +562,8 @@ func (n *Network) ToBDDs(m *bdd.Manager) []bdd.Ref {
 // returned unchanged.
 func (n *Network) BalancedTree(t GateType, ids []int) int {
 	if len(ids) == 0 {
+		// Programmer invariant: callers handle the empty-operand case
+		// (constant) before asking for a tree.
 		panic("network: BalancedTree of nothing")
 	}
 	for len(ids) > 1 {

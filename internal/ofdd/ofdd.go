@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/bdd"
+	"repro/internal/budget"
 	"repro/internal/cube"
 )
 
@@ -44,6 +45,12 @@ type opKey struct{ f, g Ref }
 
 // Manager owns a forest of OFDD nodes over a fixed variable order and
 // polarity vector.
+//
+// A Manager may carry a resource budget (SetBudget): node growth and XOR
+// recursion are then checked against it, and exhaustion unwinds with
+// panic(*budget.Err), recovered by budget.Guard at the phase boundary
+// (see package budget). OFDDs can be exponentially larger than the BDD
+// of the same function, so this is the main blowup guard of the flow.
 type Manager struct {
 	numVars  int
 	polarity []bool // true = positive Davio for that variable
@@ -51,6 +58,7 @@ type Manager struct {
 	unique   map[uniqueKey]Ref
 	xorTab   map[opKey]Ref
 	counts   map[Ref]int64 // cube-count memo
+	bud      *budget.Budget
 }
 
 // New returns an OFDD manager over n variables with the given polarity
@@ -64,6 +72,9 @@ func New(n int, polarity []bool) *Manager {
 		}
 	}
 	if len(polarity) != n {
+		// Programmer invariant: polarity vectors are constructed by the
+		// caller with one entry per variable; a mismatch is a bug at the
+		// call site, not a data condition.
 		panic(fmt.Sprintf("ofdd: polarity vector length %d != %d vars", len(polarity), n))
 	}
 	m := &Manager{
@@ -77,6 +88,11 @@ func New(n int, polarity []bool) *Manager {
 	m.nodes = append(m.nodes, node{v: term}, node{v: term})
 	return m
 }
+
+// SetBudget attaches a resource budget to the manager (nil detaches).
+// While attached, node growth and XOR steps trip the budget when
+// exhausted; the trip is recovered by budget.Guard in the caller.
+func (m *Manager) SetBudget(b *budget.Budget) { m.bud = b }
 
 // NumVars returns the number of variables.
 func (m *Manager) NumVars() int { return m.numVars }
@@ -110,6 +126,7 @@ func (m *Manager) mk(v int32, lo, hi Ref) Ref {
 	if r, ok := m.unique[k]; ok {
 		return r
 	}
+	m.bud.CheckOFDDNodes(len(m.nodes) + 1)
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, node{v: v, lo: lo, hi: hi})
 	m.unique[k] = r
@@ -137,6 +154,7 @@ func (m *Manager) Xor(f, g Ref) Ref {
 	if r, ok := m.xorTab[k]; ok {
 		return r
 	}
+	m.bud.Step("ofdd")
 	v := m.nodes[f].v
 	if m.nodes[g].v < v {
 		v = m.nodes[g].v
@@ -180,20 +198,26 @@ func (m *Manager) FromCubes(l *cube.List) Ref {
 // FromBDD converts a ROBDD into this manager's OFDD by recursively
 // applying the Davio expansion selected by each variable's polarity:
 // positive:  f = f₀ ⊕ x·(f₀⊕f₁);  negative:  f = f₁ ⊕ x̄·(f₀⊕f₁).
+// Growth is bounded only by the manager's budget, if one is attached.
 func (m *Manager) FromBDD(bm *bdd.Manager, f bdd.Ref) Ref {
-	r, ok := m.FromBDDBounded(bm, f, 1<<62)
-	if !ok {
-		panic("ofdd: unbounded FromBDD exceeded bound")
-	}
+	r, _ := m.fromBDD(bm, f, 0)
 	return r
 }
 
-// FromBDDBounded is FromBDD with a node budget: functional decision
+// FromBDDBounded is FromBDD with a node cap: functional decision
 // diagrams can be exponentially larger than the BDD of the same function
 // (long OR chains are the classic case), and ok=false reports that the
 // manager grew past maxNodes so the caller can fall back.
 func (m *Manager) FromBDDBounded(bm *bdd.Manager, f bdd.Ref, maxNodes int) (Ref, bool) {
+	return m.fromBDD(bm, f, maxNodes)
+}
+
+// fromBDD implements FromBDD/FromBDDBounded; maxNodes ≤ 0 means uncapped
+// (budget checks in mk still apply).
+func (m *Manager) fromBDD(bm *bdd.Manager, f bdd.Ref, maxNodes int) (Ref, bool) {
 	if bm.NumVars() != m.numVars {
+		// Programmer invariant: core always builds the OFDD manager over
+		// the same variable universe as the BDD manager it converts from.
 		panic("ofdd: BDD manager variable count mismatch")
 	}
 	memo := make(map[bdd.Ref]Ref)
@@ -212,10 +236,11 @@ func (m *Manager) FromBDDBounded(bm *bdd.Manager, f bdd.Ref, maxNodes int) (Ref,
 		if r, ok := memo[f]; ok {
 			return r
 		}
-		if len(m.nodes) > maxNodes {
+		if maxNodes > 0 && len(m.nodes) > maxNodes {
 			overflow = true
 			return Zero
 		}
+		m.bud.Step("ofdd")
 		v := bm.TopVar(f)
 		lo := rec(bm.Lo(f))
 		hi := rec(bm.Hi(f))
@@ -283,12 +308,12 @@ func (m *Manager) CubeCount(f Ref) int64 {
 
 // Cubes extracts the FPRM cube list of f. Cubes contain variable indices;
 // the polarity vector assigns each its literal. The limit caps the number
-// of cubes extracted (≤0 = unlimited); extraction panics past the cap to
-// catch runaway expansions.
-func (m *Manager) Cubes(f Ref, limit int) *cube.List {
+// of cubes extracted (≤0 = unlimited); extraction returns an error past
+// the cap to catch runaway expansions before they materialize.
+func (m *Manager) Cubes(f Ref, limit int) (*cube.List, error) {
 	if limit > 0 {
 		if c := m.CubeCount(f); c > int64(limit) {
-			panic(fmt.Sprintf("ofdd: %d cubes exceeds limit %d", c, limit))
+			return nil, fmt.Errorf("ofdd: %d cubes exceeds limit %d", c, limit)
 		}
 	}
 	out := cube.NewList(m.numVars)
@@ -310,7 +335,7 @@ func (m *Manager) Cubes(f Ref, limit int) *cube.List {
 	}
 	rec(f)
 	out.Sort()
-	return out
+	return out, nil
 }
 
 // CubesSample extracts at most limit cubes of f (depth-first order),

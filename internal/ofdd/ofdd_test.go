@@ -80,7 +80,10 @@ func TestFigure1OFDD(t *testing.T) {
 	if got := m.CubeCount(f); got != 6 {
 		t.Errorf("CubeCount = %d, want 6", got)
 	}
-	back := m.Cubes(f, 0)
+	back, err := m.Cubes(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !back.Equal(l) {
 		t.Errorf("extracted cubes differ:\n got %s\nwant %s", back, l)
 	}
@@ -156,7 +159,10 @@ func TestNegativePolarityOR(t *testing.T) {
 	if got := m.CubeCount(or); got != 2 {
 		t.Errorf("negative-polarity cubes of OR = %d, want 2", got)
 	}
-	cubes := m.Cubes(or, 0)
+	cubes, err := m.Cubes(or, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Expect the constant-1 cube and the cube {0,1}.
 	hasOne, hasBoth := false, false
 	for _, c := range cubes.Cubes {
@@ -207,7 +213,8 @@ func TestQuickBDDRoundTrip(t *testing.T) {
 			}
 		}
 		// Cube extraction round trip.
-		if m.FromCubes(m.Cubes(f1, 0)) != f1 {
+		cl, err := m.Cubes(f1, 0)
+		if err != nil || m.FromCubes(cl) != f1 {
 			return false
 		}
 		// ToBDD round trip.
@@ -221,7 +228,7 @@ func TestQuickBDDRoundTrip(t *testing.T) {
 	}
 }
 
-func TestCubesLimitPanics(t *testing.T) {
+func TestCubesLimitError(t *testing.T) {
 	m := New(4, nil)
 	bm := bdd.New(4)
 	or := bm.Var(0)
@@ -229,12 +236,12 @@ func TestCubesLimitPanics(t *testing.T) {
 		or = bm.Or(or, bm.Var(v))
 	}
 	f := m.FromBDD(bm, or) // PPRM of 4-var OR has 15 cubes
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic when cube count exceeds limit")
-		}
-	}()
-	m.Cubes(f, 3)
+	if _, err := m.Cubes(f, 3); err == nil {
+		t.Error("expected error when cube count exceeds limit")
+	}
+	if l, err := m.Cubes(f, 15); err != nil || l.Len() != 15 {
+		t.Errorf("at-limit extraction should succeed: %v", err)
+	}
 }
 
 func TestNodeCount(t *testing.T) {

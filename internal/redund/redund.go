@@ -24,6 +24,7 @@ package redund
 
 import (
 	"repro/internal/bdd"
+	"repro/internal/budget"
 	"repro/internal/cube"
 	"repro/internal/fprm"
 	"repro/internal/network"
@@ -31,6 +32,12 @@ import (
 
 // Options configure redundancy removal.
 type Options struct {
+	// Budget, when non-nil, meters the pass: the verification BDD manager
+	// is budgeted (exhaustion unwinds with panic(*budget.Err); the caller
+	// must wrap Remove in budget.Guard and treat a trip as "pass skipped",
+	// restoring the network from a snapshot), and the fixpoint loop polls
+	// the budget between passes, stopping gracefully when exhausted.
+	Budget *budget.Budget
 	// Form is the FPRM source of a single-output network; its cubes
 	// generate the pattern sets. Provide either Form or Forms.
 	Form *fprm.Form
@@ -225,10 +232,14 @@ func Remove(net *network.Network, opt Options) Result {
 	e.refresh()
 	if opt.Verify {
 		e.bm = bdd.New(len(net.PIs))
+		e.bm.SetBudget(opt.Budget)
 		e.spec = net.ToBDDs(e.bm)
 	}
 
 	for pass := 0; pass < opt.maxPasses(); pass++ {
+		if opt.Budget.Exceeded() != nil {
+			break // out of budget: keep the reductions committed so far
+		}
 		changed := e.xorPass()
 		changed = e.faninPass() || changed
 		if !changed {

@@ -89,6 +89,11 @@ func (n *Net) FastExtract() {
 			return
 		}
 		nd := n.newNode(best.cover)
+		if nd == nil {
+			// Signal space exhausted: stop extracting; the network so far
+			// is still valid.
+			return
+		}
 		// The complement of a 2-cube divisor is itself small (e.g. the
 		// complement of a'b+ab' is ab+a'b'); dividing by it lets hosts use
 		// the node's negative literal — this is what reconstructs XOR

@@ -21,6 +21,7 @@
 package sisbase
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -73,33 +74,59 @@ type Result struct {
 	Network *network.Network
 	Stats   network.Stats
 	Elapsed time.Duration
+	// Stopped names the reason the iteration ended early (context deadline
+	// or cancellation); empty when the script ran to convergence. The
+	// returned network is still the valid (if less optimized) state reached
+	// before the stop.
+	Stopped string
 }
 
 // Run converts the specification gate network into an SOP node network,
 // applies the baseline script, and returns the decomposed 2-input gate
-// network.
-func Run(spec *network.Network, opt Options) (*Result, error) {
+// network. The context is polled between optimization passes: on deadline
+// or cancellation the flow stops gracefully at the last completed pass and
+// still returns a functionally intact network, with Result.Stopped set.
+func Run(ctx context.Context, spec *network.Network, opt Options) (*Result, error) {
 	start := time.Now()
 	if opt.MaxIters == 0 {
 		opt.MaxIters = 8
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	net, err := FromNetwork(spec)
 	if err != nil {
 		return nil, err
 	}
+	stopped := ""
+	interrupted := func() bool {
+		if stopped != "" {
+			return true
+		}
+		if err := ctx.Err(); err != nil {
+			stopped = err.Error()
+			return true
+		}
+		return false
+	}
 	net.Sweep()
-	if opt.EliminateValue >= 0 {
+	if opt.EliminateValue >= 0 && !interrupted() {
 		net.Eliminate(opt.EliminateValue)
 	}
-	net.Simplify()
+	if !interrupted() {
+		net.Simplify()
+	}
 	prev := -1
-	for it := 0; it < opt.MaxIters; it++ {
+	for it := 0; it < opt.MaxIters && !interrupted(); it++ {
 		net.FastExtract()
-		if !opt.SkipResub {
+		if !opt.SkipResub && !interrupted() {
 			net.Resub()
 		}
-		if opt.EliminateValue >= 0 {
+		if opt.EliminateValue >= 0 && !interrupted() {
 			net.Eliminate(opt.EliminateValue)
+		}
+		if interrupted() {
+			break
 		}
 		net.Simplify()
 		net.Sweep()
@@ -113,7 +140,7 @@ func Run(spec *network.Network, opt Options) (*Result, error) {
 	out.Sweep()
 	out.Strash()
 	out.Sweep()
-	res := &Result{Network: out, Stats: out.CollectStats(), Elapsed: time.Since(start)}
+	res := &Result{Network: out, Stats: out.CollectStats(), Elapsed: time.Since(start), Stopped: stopped}
 	return res, nil
 }
 
@@ -132,7 +159,11 @@ func FromNetwork(spec *network.Network) (*Net, error) {
 			node.IsPI = true
 			continue
 		}
-		node.Cover = coverOfGate(capSig, g)
+		cov, err := coverOfGate(capSig, g)
+		if err != nil {
+			return nil, err
+		}
+		node.Cover = cov
 	}
 	// Gates outside the PO cone may be nil; fill placeholders.
 	for i, nd := range n.Nodes {
@@ -147,7 +178,12 @@ func FromNetwork(spec *network.Network) (*Net, error) {
 	return n, nil
 }
 
-func coverOfGate(capSig int, g *network.Gate) *sop.Cover {
+// maxXorFanin bounds the fanin width of XOR/XNOR gates converted to
+// two-level parity covers: a k-input parity has 2^(k-1) terms, so anything
+// wider is a data-dependent blowup, not a usable cover.
+const maxXorFanin = 20
+
+func coverOfGate(capSig int, g *network.Gate) (*sop.Cover, error) {
 	c := sop.NewCover(capSig)
 	switch g.Type {
 	case network.Const0:
@@ -181,6 +217,10 @@ func coverOfGate(capSig int, g *network.Gate) *sop.Cover {
 		}
 	case network.Xor, network.Xnor:
 		k := len(g.Fanins)
+		if k > maxXorFanin {
+			return nil, fmt.Errorf("sisbase: %d-input %v needs a %d-term parity cover (max fanin %d)",
+				k, g.Type, 1<<uint(k-1), maxXorFanin)
+		}
 		wantOdd := g.Type == network.Xor
 		for a := 0; a < 1<<uint(k); a++ {
 			ones := 0
@@ -209,16 +249,18 @@ func coverOfGate(capSig int, g *network.Gate) *sop.Cover {
 			c.Add(t)
 		}
 	default:
-		panic(fmt.Sprintf("sisbase: gate type %v", g.Type))
+		return nil, fmt.Errorf("sisbase: unsupported gate type %v", g.Type)
 	}
-	return c
+	return c, nil
 }
 
-// newNode appends a fresh internal node and returns it.
+// newNode appends a fresh internal node and returns it, or nil when the
+// signal space is exhausted (covers cannot address variables beyond
+// sigCap). Callers must treat nil as "stop extracting divisors".
 func (n *Net) newNode(cover *sop.Cover) *Node {
 	id := len(n.Nodes)
 	if id >= n.sigCap {
-		panic("sisbase: signal space exhausted")
+		return nil
 	}
 	nd := &Node{ID: id, Cover: cover}
 	n.Nodes = append(n.Nodes, nd)
@@ -490,6 +532,9 @@ func (n *Net) Decompose() *network.Network {
 	lit := func(v int, phase bool) int {
 		g, ok := gate[v]
 		if !ok {
+			// Programmer invariant: liveOrder() visits fanins before users,
+			// so every referenced node already has a gate by the time a
+			// cover mentions it.
 			panic("sisbase: decompose ordering")
 		}
 		if phase {

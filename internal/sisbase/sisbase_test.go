@@ -1,6 +1,7 @@
 package sisbase
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -54,7 +55,7 @@ func TestQuickBaselinePreserves(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		spec := buildSpec(rng, 3+rng.Intn(3), 4+rng.Intn(12))
-		res, err := Run(spec, DefaultOptions())
+		res, err := Run(context.Background(), spec, DefaultOptions())
 		if err != nil {
 			return false
 		}
@@ -147,7 +148,7 @@ func TestFastExtractSharesCommonCube(t *testing.T) {
 	o2 := spec.AddGate(network.Or, ab2, d)
 	spec.AddPO("o1", o1)
 	spec.AddPO("o2", o2)
-	res, err := Run(spec, DefaultOptions())
+	res, err := Run(context.Background(), spec, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestEliminateAndSweep(t *testing.T) {
 	g2 := spec.AddGate(network.Buf, g1)
 	g3 := spec.AddGate(network.Buf, g2)
 	spec.AddPO("o", g3)
-	res, err := Run(spec, DefaultOptions())
+	res, err := Run(context.Background(), spec, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestXorCostInBaseline(t *testing.T) {
 	a := spec.AddPI("a")
 	b := spec.AddPI("b")
 	spec.AddPO("o", spec.AddGate(network.Xor, a, b))
-	res, err := Run(spec, DefaultOptions())
+	res, err := Run(context.Background(), spec, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestParityChainBaseline(t *testing.T) {
 		prev = spec.AddGate(network.Xor, prev, pi)
 	}
 	spec.AddPO("o", prev)
-	res, err := Run(spec, DefaultOptions())
+	res, err := Run(context.Background(), spec, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestResubUsesExistingNode(t *testing.T) {
 	f := spec.AddGate(network.And, g, d)
 	spec.AddPO("g", g)
 	spec.AddPO("f", f)
-	res, err := Run(spec, DefaultOptions())
+	res, err := Run(context.Background(), spec, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestConstantNode(t *testing.T) {
 	spec := network.New("c")
 	a := spec.AddPI("a")
 	spec.AddPO("z", spec.AddGate(network.And, a, spec.AddGate(network.Not, a)))
-	res, err := Run(spec, DefaultOptions())
+	res, err := Run(context.Background(), spec, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestBaselineSoundnessSweep(t *testing.T) {
 	for seed := int64(0); seed < 400; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		spec := buildSpec(rng, 3+rng.Intn(4), 4+rng.Intn(16))
-		res, err := Run(spec, DefaultOptions())
+		res, err := Run(context.Background(), spec, DefaultOptions())
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

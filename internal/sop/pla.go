@@ -39,15 +39,21 @@ func ParsePLA(r io.Reader) (*PLA, error) {
 		fields := strings.Fields(line)
 		switch fields[0] {
 		case ".i":
-			n, err := strconv.Atoi(fields[1])
+			n, err := plaCount(fields)
 			if err != nil {
-				return nil, fmt.Errorf("pla line %d: bad .i", lineNo)
+				return nil, fmt.Errorf("pla line %d: bad .i: %v", lineNo, err)
+			}
+			if p.Covers != nil {
+				return nil, fmt.Errorf("pla line %d: .i after cube rows", lineNo)
 			}
 			p.Inputs = n
 		case ".o":
-			n, err := strconv.Atoi(fields[1])
+			n, err := plaCount(fields)
 			if err != nil {
-				return nil, fmt.Errorf("pla line %d: bad .o", lineNo)
+				return nil, fmt.Errorf("pla line %d: bad .o: %v", lineNo, err)
+			}
+			if p.Covers != nil {
+				return nil, fmt.Errorf("pla line %d: .o after cube rows", lineNo)
 			}
 			p.Outputs = n
 		case ".ilb":
@@ -120,6 +126,26 @@ func ParsePLA(r io.Reader) (*PLA, error) {
 		}
 	}
 	return p, nil
+}
+
+// maxPLAWidth bounds declared input/output counts: anything larger is a
+// corrupt (or hostile) file, and pre-allocating covers for it would
+// exhaust memory before a single cube row is read.
+const maxPLAWidth = 1 << 16
+
+// plaCount parses the argument of an .i/.o directive with sanity bounds.
+func plaCount(fields []string) (int, error) {
+	if len(fields) < 2 {
+		return 0, fmt.Errorf("missing count")
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 || n > maxPLAWidth {
+		return 0, fmt.Errorf("count %d out of range [0,%d]", n, maxPLAWidth)
+	}
+	return n, nil
 }
 
 // WritePLA renders the PLA in espresso format. Identical input rows that

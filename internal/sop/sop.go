@@ -521,10 +521,12 @@ func FromMinterms(n int, minterms []int) *Cover {
 }
 
 // FromFunc builds a minimized cover of an arbitrary n-variable function
-// given as a predicate over minterm indices. Practical for n ≤ ~16.
-func FromFunc(n int, f func(m int) bool) *Cover {
+// given as a predicate over minterm indices. Practical for n ≤ ~16; it
+// returns an error past 24 variables rather than enumerating 2^n
+// minterms.
+func FromFunc(n int, f func(m int) bool) (*Cover, error) {
 	if n > 24 {
-		panic(fmt.Sprintf("sop.FromFunc: %d variables is too many for truth-table enumeration", n))
+		return nil, fmt.Errorf("sop.FromFunc: %d variables is too many for truth-table enumeration", n)
 	}
 	var minterms []int
 	for m := 0; m < 1<<n; m++ {
@@ -532,5 +534,5 @@ func FromFunc(n int, f func(m int) bool) *Cover {
 			minterms = append(minterms, m)
 		}
 	}
-	return FromMinterms(n, minterms)
+	return FromMinterms(n, minterms), nil
 }

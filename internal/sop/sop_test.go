@@ -228,7 +228,7 @@ func TestFromMinterms(t *testing.T) {
 }
 
 func TestFromFuncParity(t *testing.T) {
-	c := FromFunc(4, func(m int) bool {
+	c, err := FromFunc(4, func(m int) bool {
 		cnt := 0
 		for v := 0; v < 4; v++ {
 			if m&(1<<v) != 0 {
@@ -237,6 +237,12 @@ func TestFromFuncParity(t *testing.T) {
 		}
 		return cnt%2 == 1
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromFunc(25, func(int) bool { return false }); err == nil {
+		t.Error("FromFunc must refuse 25 variables")
+	}
 	// Parity needs all 8 minterms; check the function at least.
 	for m := 0; m < 16; m++ {
 		assign := cube.NewBitSet(4)

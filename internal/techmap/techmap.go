@@ -279,15 +279,19 @@ func Map(net *network.Network, lib []Cell) (*Result, error) {
 
 	res := &Result{Subject: subj}
 	emitted := make(map[int]bool)
+	var emitErr error
 	var emit func(v int)
 	emit = func(v int) {
-		if subj.Nodes[v].IsPI || emitted[v] {
+		if subj.Nodes[v].IsPI || emitted[v] || emitErr != nil {
 			return
 		}
 		emitted[v] = true
 		e := bestAt(v)
 		if e.match.inputs == nil {
-			panic("techmap: unmatched node")
+			// A complete library always matches every AIG node; an
+			// incomplete user-supplied library can legitimately fail here.
+			emitErr = fmt.Errorf("techmap: no library cell matches node %d", v)
+			return
 		}
 		cell := lib[e.match.cell]
 		res.Cells = append(res.Cells, MappedCell{Cell: cell.Name, Root: v, Inputs: e.match.inputs})
@@ -304,6 +308,9 @@ func Map(net *network.Network, lib []Cell) (*Result, error) {
 			continue
 		}
 		emit(po.Node)
+	}
+	if emitErr != nil {
+		return nil, emitErr
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil

@@ -68,11 +68,12 @@ func RandomCheck(a, b *network.Network, n int, seed int64) int {
 	return -1
 }
 
-// Exhaustive checks all 2^n input patterns (n ≤ 20).
-func Exhaustive(a, b *network.Network) bool {
+// Exhaustive checks all 2^n input patterns (n ≤ 20). It returns an error
+// rather than simulating past the input-count limit.
+func Exhaustive(a, b *network.Network) (bool, error) {
 	n := a.NumPIs()
 	if n > 20 {
-		panic("verify: Exhaustive limited to 20 inputs")
+		return false, fmt.Errorf("verify: Exhaustive limited to 20 inputs, got %d", n)
 	}
 	for base := 0; base < 1<<uint(n); base += 64 {
 		words := make([]uint64, n)
@@ -93,9 +94,9 @@ func Exhaustive(a, b *network.Network) bool {
 		}
 		for o := range a.POs {
 			if (va[a.POs[o].Gate]^vb[b.POs[o].Gate])&mask != 0 {
-				return false
+				return false, nil
 			}
 		}
 	}
-	return true
+	return true, nil
 }

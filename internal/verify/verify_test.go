@@ -28,8 +28,8 @@ func TestEquivalentTrue(t *testing.T) {
 	if err != nil || !eq {
 		t.Fatalf("eq=%v err=%v, want true", eq, err)
 	}
-	if !Exhaustive(a, b) {
-		t.Error("Exhaustive disagrees")
+	if ok, err := Exhaustive(a, b); err != nil || !ok {
+		t.Errorf("Exhaustive disagrees: ok=%v err=%v", ok, err)
 	}
 	if RandomCheck(a, b, 256, 1) != -1 {
 		t.Error("RandomCheck disagrees")
@@ -57,8 +57,8 @@ func TestEquivalentFalse(t *testing.T) {
 	if a.Eval(assign)[0] == c.Eval(assign)[0] {
 		t.Error("counterexample does not distinguish")
 	}
-	if Exhaustive(a, c) {
-		t.Error("Exhaustive says equal")
+	if ok, err := Exhaustive(a, c); err != nil || ok {
+		t.Errorf("Exhaustive says equal: ok=%v err=%v", ok, err)
 	}
 }
 
