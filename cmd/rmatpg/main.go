@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/atpg"
 	"repro/internal/bench"
@@ -29,6 +30,7 @@ func main() {
 		backtracks = flag.Int("backtracks", 10000, "PODEM backtrack limit")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for synthesis (0 = none)")
 		maxNodes   = flag.Int("max-nodes", 0, "BDD/OFDD node budget (0 = none)")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "derivation worker count (per-output FPRM fan-out)")
 	)
 	flag.Parse()
 	c, ok := bench.ByName(*circuit)
@@ -47,6 +49,7 @@ func main() {
 	opt := core.DefaultOptions()
 	opt.MaxBDDNodes = *maxNodes
 	opt.MaxOFDDNodes = *maxNodes
+	opt.Workers = *jobs
 
 	ours, err := core.Synthesize(ctx, spec, opt)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/bench"
@@ -30,6 +31,7 @@ func main() {
 		method   = flag.Int("method", 1, "factorization method: 1 = cube, 2 = OFDD")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget per circuit (0 = none)")
 		maxNodes = flag.Int("max-nodes", 0, "BDD/OFDD node budget per circuit (0 = none)")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "derivation worker count (per-output FPRM fan-out)")
 	)
 	flag.Parse()
 
@@ -37,6 +39,7 @@ func main() {
 	opt.Core.Method = core.Method(*method)
 	opt.Timeout = *timeout
 	opt.MaxBDDNodes = *maxNodes
+	opt.Workers = *jobs
 	if *only != "" {
 		names := map[string]bool{}
 		for _, n := range strings.Split(*only, ",") {
@@ -47,13 +50,18 @@ func main() {
 		opt.Include = func(c bench.Circuit) bool { return c.Arith }
 	}
 
+	fmt.Fprintf(os.Stderr, "derivation workers: %d\n", *jobs)
 	var rows []bench.Row
 	for _, c := range bench.Circuits() {
 		if opt.Include != nil && !opt.Include(c) {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %-10s (%d/%d)...\n", c.Name, c.In, c.Out)
-		rows = append(rows, bench.RunCircuit(c, opt))
+		r := bench.RunCircuit(c, opt)
+		if r.OursPhases != "" {
+			fmt.Fprintf(os.Stderr, "  %s: workers=%d %s\n", c.Name, r.Workers, r.OursPhases)
+		}
+		rows = append(rows, r)
 	}
 	arithRow, allRow := bench.Summaries(rows)
 	bench.WriteTable(os.Stdout, rows, arithRow, allRow)

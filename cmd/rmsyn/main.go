@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -50,6 +52,7 @@ func main() {
 		showForms = flag.Bool("forms", false, "print per-output FPRM cube counts")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for synthesis (0 = none)")
 		maxNodes  = flag.Int("max-nodes", 0, "BDD/OFDD node budget (0 = none)")
+		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "derivation worker count (per-output FPRM fan-out)")
 	)
 	// Parse manually so malformed flags exit with the documented usage
 	// code (flag.ExitOnError would exit 2, the synthesis-failure code).
@@ -95,6 +98,7 @@ func main() {
 	opt.Verify = *doVerify
 	opt.MaxBDDNodes = *maxNodes
 	opt.MaxOFDDNodes = *maxNodes
+	opt.Workers = *jobs
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -114,8 +118,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rmsyn: budget degradations:\n%s", report)
 	}
 	fmt.Printf("%s: %d PIs, %d POs\n", name, spec.NumPIs(), spec.NumPOs())
-	fmt.Printf("ours:     %4d 2-input gates, %4d lits, %d XOR gates (%.3fs)\n",
-		res.Stats.Gates2, res.Stats.Lits, res.Stats.XORs, res.Elapsed.Seconds())
+	// Workers is 0 when the derivation fan-out never ran (the spec-bdd
+	// budget tripped before it): omit the count rather than print "0".
+	workerNote := ""
+	if res.Workers > 0 {
+		workerNote = fmt.Sprintf(", %d workers", res.Workers)
+	}
+	fmt.Printf("ours:     %4d 2-input gates, %4d lits, %d XOR gates (%.3fs%s)\n",
+		res.Stats.Gates2, res.Stats.Lits, res.Stats.XORs, res.Elapsed.Seconds(), workerNote)
+	for _, pt := range res.PhaseTimes {
+		fmt.Printf("          phase %-8s %s\n", pt.Name, pt.Elapsed.Round(time.Microsecond))
+	}
 	fmt.Printf("          redundancy removal: %+v\n", res.Redund)
 	if *showForms {
 		for i, n := range res.CubeCounts {

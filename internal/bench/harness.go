@@ -44,8 +44,24 @@ type Row struct {
 	SISPower  float64
 	OursPower float64
 
+	// Workers is the derivation worker count the FPRM flow ran with,
+	// and OursPhases its per-phase wall-clock breakdown (e.g.
+	// "fprm=12ms factor=3ms"), both from core.Result.
+	Workers    int
+	OursPhases string
+
 	Verified bool
 	Err      string
+}
+
+// renderPhases flattens a phase-time list into one space-separated
+// "name=duration" field for the CSV and verbose output.
+func renderPhases(pts []core.PhaseTime) string {
+	parts := make([]string, len(pts))
+	for i, pt := range pts {
+		parts[i] = fmt.Sprintf("%s=%s", pt.Name, pt.Elapsed.Round(time.Microsecond))
+	}
+	return strings.Join(parts, " ")
 }
 
 // Options configure a Table 2 run.
@@ -63,6 +79,9 @@ type Options struct {
 	// MaxBDDNodes caps the decision-diagram managers of the paper's flow
 	// (both BDD and OFDD); 0 means no cap.
 	MaxBDDNodes int
+	// Workers bounds the per-output derivation fan-out of the paper's
+	// flow (see core.Options.Workers); 0 means GOMAXPROCS.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper's experiment.
@@ -86,6 +105,9 @@ func RunCircuit(c Circuit, opt Options) Row {
 		coreOpt.MaxBDDNodes = opt.MaxBDDNodes
 		coreOpt.MaxOFDDNodes = opt.MaxBDDNodes
 	}
+	if opt.Workers != 0 {
+		coreOpt.Workers = opt.Workers
+	}
 
 	sisRes, err := sisbase.Run(ctx, spec, opt.SIS)
 	if err != nil {
@@ -108,6 +130,8 @@ func RunCircuit(c Circuit, opt Options) Row {
 	}
 	row.OursLits = oursRes.Stats.Lits
 	row.OursTime = oursRes.Elapsed
+	row.Workers = oursRes.Workers
+	row.OursPhases = renderPhases(oursRes.PhaseTimes)
 
 	if opt.Verify {
 		for _, res := range []*network.Network{sisRes.Network, oursRes.Network} {
@@ -236,13 +260,13 @@ func WriteTable(w io.Writer, rows []Row, arith, all Row) {
 
 // WriteCSV renders rows as CSV for downstream analysis.
 func WriteCSV(w io.Writer, rows []Row, arith, all Row) {
-	fmt.Fprintln(w, "circuit,in,out,arith,sis_lits,sis_time_s,ours_lits,ours_time_s,sis_gates,sis_map_lits,ours_gates,ours_map_lits,improve_lits_pct,improve_power_pct,verified,note")
+	fmt.Fprintln(w, "circuit,in,out,arith,sis_lits,sis_time_s,ours_lits,ours_time_s,sis_gates,sis_map_lits,ours_gates,ours_map_lits,improve_lits_pct,improve_power_pct,workers,ours_phases,verified,note")
 	emit := func(r Row) {
-		fmt.Fprintf(w, "%s,%d,%d,%t,%d,%.4f,%d,%.4f,%d,%d,%d,%d,%.2f,%.2f,%t,%q\n",
+		fmt.Fprintf(w, "%s,%d,%d,%t,%d,%.4f,%d,%.4f,%d,%d,%d,%d,%.2f,%.2f,%d,%q,%t,%q\n",
 			r.Name, r.In, r.Out, r.Arith,
 			r.SISLits, r.SISTime.Seconds(), r.OursLits, r.OursTime.Seconds(),
 			r.SISGates, r.SISMapLits, r.OursGates, r.OursMapLits,
-			r.ImproveLits, r.ImprovePower, r.Verified, r.Note)
+			r.ImproveLits, r.ImprovePower, r.Workers, r.OursPhases, r.Verified, r.Note)
 	}
 	for _, r := range rows {
 		emit(r)

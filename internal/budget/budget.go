@@ -20,6 +20,17 @@
 // escapes the public API of the packages that use budgets: core and
 // sisbase wrap every budgeted phase in Guard.
 //
+// # Concurrency
+//
+// A Budget is safe for concurrent use: one budget governs every worker
+// of a parallel derivation fan-out (see core.Synthesize). The step
+// counter is a single atomic add, the sticky first-trip is an atomic
+// pointer published once via compare-and-swap, and the limits are
+// immutable after New. The amortized deadline poll is preserved — across
+// all workers, whichever goroutine lands on a multiple of the check
+// interval consults the clock, so the per-step overhead stays an atomic
+// increment and a mask test.
+//
 // All methods are safe on a nil *Budget and cost a single nil check, so
 // unbudgeted callers pay nothing.
 package budget
@@ -28,6 +39,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -70,15 +82,16 @@ type Limits struct {
 const checkMask = 255
 
 // Budget is a per-request resource budget shared by every manager and
-// phase of one synthesis run. It is not safe for concurrent use (a run
-// is single-threaded; concurrent runs use separate Budgets).
+// phase of one synthesis run. It is safe for concurrent use: one Budget
+// governs all workers of a parallel run (concurrent *runs* still use
+// separate Budgets, since steps are a per-run resource).
 type Budget struct {
 	ctx      context.Context
 	deadline time.Time
 	hasDL    bool
 	lim      Limits
-	steps    int64
-	tripped  *Err // first trip, memoized so later checks fail fast
+	steps    atomic.Int64
+	tripped  atomic.Pointer[Err] // first sticky trip, memoized so later checks fail fast
 }
 
 // New returns a Budget over the context's deadline/cancellation and the
@@ -108,7 +121,7 @@ func (b *Budget) Steps() int64 {
 	if b == nil {
 		return 0
 	}
-	return b.steps
+	return b.steps.Load()
 }
 
 // trip raises the budget error. The panic is a controlled non-local exit
@@ -118,35 +131,35 @@ func (b *Budget) Steps() int64 {
 //
 // Only globally-spent resources are memoized as sticky (deadline,
 // cancellation, steps): once spent they stay spent, so later checks fail
-// fast. Node and cube trips are per-phase — a fresh OFDD manager for the
-// next output starts below its cap again — and must not poison the rest
-// of the run.
+// fast. The memo is published with a compare-and-swap so exactly one
+// trip wins under concurrency; every worker that checks afterwards sees
+// the same *Err. Node and cube trips are per-phase — a fresh OFDD
+// manager for the next output starts below its cap again — and must not
+// poison the rest of the run.
 func (b *Budget) trip(phase, limit string, max, used int64) {
 	e := &Err{Phase: phase, Limit: limit, Max: max, Used: used}
-	if b.tripped == nil {
-		switch limit {
-		case "deadline", "canceled", "steps":
-			b.tripped = e
-		}
+	switch limit {
+	case "deadline", "canceled", "steps":
+		b.tripped.CompareAndSwap(nil, e)
 	}
 	panic(e)
 }
 
 // Step counts one unit of work (one memo miss in a hot recursion) and
-// trips on step-budget exhaustion; every 256 steps it also checks the
-// deadline and cancellation.
+// trips on step-budget exhaustion; every 256 steps (across all workers
+// sharing the budget) it also checks the deadline and cancellation.
 func (b *Budget) Step(phase string) {
 	if b == nil {
 		return
 	}
-	if b.tripped != nil {
-		b.trip(phase, b.tripped.Limit, b.tripped.Max, b.tripped.Used)
+	if t := b.tripped.Load(); t != nil {
+		b.trip(phase, t.Limit, t.Max, t.Used)
 	}
-	b.steps++
-	if b.lim.Steps > 0 && b.steps > b.lim.Steps {
-		b.trip(phase, "steps", b.lim.Steps, b.steps)
+	s := b.steps.Add(1)
+	if b.lim.Steps > 0 && s > b.lim.Steps {
+		b.trip(phase, "steps", b.lim.Steps, s)
 	}
-	if b.steps&checkMask == 0 {
+	if s&checkMask == 0 {
 		b.checkTime(phase)
 	}
 }
@@ -204,21 +217,24 @@ func (b *Budget) CubesAllowed(count int64) bool {
 // Exceeded reports — without panicking — whether the budget is already
 // exhausted (a previous trip, an expired deadline, or a canceled
 // context). Phases that can stop gracefully (polarity search, the
-// sisbase iteration loop) poll this between units of work.
+// sisbase iteration loop) poll this between units of work. Under
+// concurrency the first memoized trip wins; a deadline/cancellation
+// observed here is published the same way so all workers converge on
+// one error.
 func (b *Budget) Exceeded() error {
 	if b == nil {
 		return nil
 	}
-	if b.tripped != nil {
-		return b.tripped
+	if t := b.tripped.Load(); t != nil {
+		return t
 	}
 	if b.hasDL && !time.Now().Before(b.deadline) {
-		b.tripped = &Err{Phase: "poll", Limit: "deadline"}
-		return b.tripped
+		b.tripped.CompareAndSwap(nil, &Err{Phase: "poll", Limit: "deadline"})
+		return b.tripped.Load()
 	}
 	if b.ctx.Err() != nil {
-		b.tripped = &Err{Phase: "poll", Limit: "canceled"}
-		return b.tripped
+		b.tripped.CompareAndSwap(nil, &Err{Phase: "poll", Limit: "canceled"})
+		return b.tripped.Load()
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -102,4 +103,92 @@ func TestGuardPassesForeignPanics(t *testing.T) {
 		}
 	}()
 	_ = Guard(func() { panic(fmt.Errorf("unrelated")) })
+}
+
+// A shared budget must be usable from many goroutines: the step counter
+// must not lose increments and a sticky trip must be observed by every
+// worker. Run with -race (CI does).
+func TestConcurrentSteps(t *testing.T) {
+	b := New(context.Background(), Limits{})
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Step("bdd")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Steps(); got != workers*per {
+		t.Fatalf("lost steps under concurrency: got %d want %d", got, workers*per)
+	}
+}
+
+func TestConcurrentStepLimitSticky(t *testing.T) {
+	b := New(context.Background(), Limits{Steps: 1000})
+	const workers = 8
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = Guard(func() {
+				for i := 0; i < 10000; i++ {
+					b.Step("ofdd")
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+	tripped := 0
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		tripped++
+		if !IsExceeded(err) {
+			t.Fatalf("non-budget error from worker: %v", err)
+		}
+		var be *Err
+		if !errors.As(err, &be) || be.Limit != "steps" {
+			t.Fatalf("want steps trip, got %+v", be)
+		}
+	}
+	if tripped == 0 {
+		t.Fatal("no worker tripped a 1000-step budget under 80000 steps")
+	}
+	if b.Exceeded() == nil {
+		t.Fatal("sticky trip must be visible to later polls")
+	}
+	// All workers that observe the memo see the same first-trip error.
+	first := b.Exceeded()
+	if e2 := b.Exceeded(); e2 != first {
+		t.Fatal("memoized trip must be stable")
+	}
+}
+
+func TestConcurrentCancellationConverges(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(ctx, Limits{})
+	cancel()
+	const workers = 8
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = b.Exceeded()
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err == nil || !IsExceeded(err) {
+			t.Fatalf("worker %d: want canceled trip, got %v", w, err)
+		}
+	}
 }

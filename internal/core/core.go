@@ -21,8 +21,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bdd"
@@ -114,6 +116,17 @@ type Options struct {
 	MaxOFDDNodes int   // cap on each per-output OFDD manager's node count
 	MaxCubes     int64 // cap on materialized FPRM cubes per output
 	MaxSteps     int64 // cap on total recursion work steps across the run
+
+	// Workers bounds the derivation fan-out: the per-output fprm phase
+	// (OFDD build, FPRM extraction, polarity search) runs on a pool of
+	// this many workers, each with its own OFDD manager, against the
+	// shared read-only specification BDDs and one race-safe budget.
+	// 0 means runtime.GOMAXPROCS(0); 1 runs the phase sequentially.
+	// The synthesized network is bit-identical for every worker count:
+	// each output's derivation is independent and results merge into
+	// per-output slots in output order. The factor/emit phases stay
+	// sequential (they share the emitter and divisor registries).
+	Workers int
 }
 
 // DefaultOptions returns the paper's flow: cube-method factorization with
@@ -167,6 +180,13 @@ func (o Options) exhaustiveLimit() int {
 	return 10
 }
 
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Degradation records one fallback step of the graceful-degradation
 // ladder: which output was affected (the PO name, or "*" for a
 // network-wide step), which pipeline stage hit its budget, what was used
@@ -178,12 +198,22 @@ type Degradation struct {
 	Reason   string // the budget error or condition that triggered it
 }
 
+// PhaseTime records the wall-clock time of one pipeline phase.
+type PhaseTime struct {
+	Name    string // "spec-bdd", "fprm", "factor", "emit", "redund", "merge", "verify"
+	Elapsed time.Duration
+}
+
 // Result is the outcome of a synthesis run.
 type Result struct {
 	Network *network.Network
 	Forms   []*fprm.Form // per-output FPRM forms (sampled when huge)
 	Stats   network.Stats
 	Redund  redund.Result
+	// PhaseTimes records per-phase wall-clock times in execution order.
+	PhaseTimes []PhaseTime
+	// Workers is the derivation worker count the fprm phase ran with.
+	Workers int
 	// Fallback reports that the FPRM result was larger than the cleaned
 	// specification, which was returned instead (see Options.NoFallback).
 	Fallback bool
@@ -247,6 +277,13 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 		// bottom of the ladder immediately.
 		return fallbackToSpec(spec, opt, perr.Error(), start)
 	}
+	res = &Result{}
+	phaseStart := time.Now()
+	markPhase := func(name string) {
+		res.PhaseTimes = append(res.PhaseTimes, PhaseTime{Name: name, Elapsed: time.Since(phaseStart)})
+		phaseStart = time.Now()
+	}
+
 	bm := bdd.New(nPI)
 	bm.SetBudget(bud)
 	phase = "spec-bdd"
@@ -256,8 +293,8 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 		// whole FPRM flow is out of reach, ship the swept spec.
 		return fallbackToSpec(spec, opt, gerr.Error(), start)
 	}
+	markPhase("spec-bdd")
 
-	res = &Result{}
 	degrade := func(output, stage, fallback, reason string) {
 		res.Degradations = append(res.Degradations, Degradation{
 			Output: output, Stage: stage, Fallback: fallback, Reason: reason,
@@ -294,44 +331,109 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 		return string(k)
 	}
 
-	// Per-output FPRM derivation, each step of the ladder guarded: an
-	// output whose OFDD, cube extraction, or budget blows falls back to a
-	// structural copy of its specification cone (cone[oi]), never failing
-	// the run.
+	// Per-output FPRM derivation — the parallel fan-out of the flow. The
+	// paper's derivation is independent per output (each gets its own
+	// OFDD manager; the shared specification BDDs are read-only after
+	// ToBDDs, and the one budget is race-safe), so the outputs run on a
+	// bounded worker pool. Every step of the ladder stays guarded, now
+	// inside each worker goroutine: an output whose OFDD, cube
+	// extraction, or budget blows falls back to a structural copy of its
+	// specification cone (cone[oi]), never failing the run. Results land
+	// in per-output slots and merge in output order, so the network is
+	// bit-identical for every worker count.
 	phase = "fprm"
 	res.Forms = make([]*fprm.Form, len(outs))
 	res.CubeCounts = make([]int64, len(outs))
 	cone := make([]bool, len(outs))
-	for oi, f := range outs {
+	workers := opt.workers()
+	if workers > len(outs) {
+		workers = len(outs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	res.Workers = workers
+	// Exhaustive polarity search shards its Gray-code walk across the
+	// workers the output fan-out leaves idle (one output → all of them).
+	searchWorkers := 1
+	if len(outs) > 0 {
+		if searchWorkers = opt.workers() / len(outs); searchWorkers < 1 {
+			searchWorkers = 1
+		}
+	}
+	slotDegs := make([][]Degradation, len(outs))
+	residual := make([]any, len(outs))
+	deriveOne := func(oi int) {
+		// Residual (non-budget) panics cannot cross the goroutine
+		// boundary to Synthesize's recover; capture them here and
+		// re-raise on the main goroutine after the merge barrier.
+		defer func() {
+			if r := recover(); r != nil {
+				residual[oi] = r
+			}
+		}()
 		oname := spec.POs[oi].Name
 		if perr := bud.Exceeded(); perr != nil {
 			res.Forms[oi] = fprm.NewForm(nPI, nil)
 			res.CubeCounts[oi] = -1
 			cone[oi] = true
-			degrade(oname, "fprm", "spec-cone", perr.Error())
-			continue
+			slotDegs[oi] = append(slotDegs[oi], Degradation{oname, "fprm", "spec-cone", perr.Error()})
+			return
 		}
 		var form *fprm.Form
 		var count int64
 		var isHuge, searchCut bool
-		gerr := budget.Guard(func() { form, count, isHuge, searchCut = deriveForm(bm, f, opt, bud) })
+		gerr := budget.Guard(func() {
+			form, count, isHuge, searchCut = deriveForm(bm, outs[oi], opt, bud, searchWorkers)
+		})
 		if gerr != nil {
 			res.Forms[oi] = fprm.NewForm(nPI, nil)
 			res.CubeCounts[oi] = -1
 			cone[oi] = true
-			degrade(oname, "fprm", "spec-cone", gerr.Error())
-			continue
+			slotDegs[oi] = append(slotDegs[oi], Degradation{oname, "fprm", "spec-cone", gerr.Error()})
+			return
 		}
 		if isHuge {
 			cone[oi] = true
-			degrade(oname, "fprm", "spec-cone", "OFDD node cap exceeded")
+			slotDegs[oi] = append(slotDegs[oi], Degradation{oname, "fprm", "spec-cone", "OFDD node cap exceeded"})
 		}
 		if searchCut {
-			degrade(oname, "polarity-search", "best-so-far", "budget exhausted during polarity search")
+			slotDegs[oi] = append(slotDegs[oi], Degradation{oname, "polarity-search", "best-so-far", "budget exhausted during polarity search"})
 		}
 		res.Forms[oi] = form
 		res.CubeCounts[oi] = count
 	}
+	if workers == 1 {
+		for oi := range outs {
+			deriveOne(oi)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for oi := range jobs {
+					deriveOne(oi)
+				}
+			}()
+		}
+		for oi := range outs {
+			jobs <- oi
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	// Deterministic merge: degradations in output order; a residual
+	// panic (a bug, not a budget trip) re-raises into the boundary above.
+	for oi := range outs {
+		if residual[oi] != nil {
+			panic(residual[oi])
+		}
+		res.Degradations = append(res.Degradations, slotDegs[oi]...)
+	}
+	markPhase("fprm")
 
 	// Factor outputs smallest-first so the divisor registry is populated
 	// bottom-up (an adder's c₁ is registered before c₂ needs it), then
@@ -405,6 +507,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 			degrade(oname, "factor", "spec-cone", gerr.Error())
 		}
 	}
+	markPhase("factor")
 
 	phase = "emit"
 	poGate := make([]int, len(outs))
@@ -430,6 +533,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 
 	net.Strash()
 	net.Sweep()
+	markPhase("emit")
 
 	// Prepare the do-no-harm reference early: when the factored network
 	// is already far larger than the cleaned specification, redundancy
@@ -473,6 +577,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 			}
 		}
 	}
+	markPhase("redund")
 	phase = "merge"
 	if opt.MergeNodes {
 		// Safe without a snapshot: mutation happens only after the BDD
@@ -482,6 +587,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 		}
 		net.Sweep()
 	}
+	markPhase("merge")
 	// Safety net: the synthesized network must match the specification.
 	// The budget is detached first — verification must always run to
 	// completion, even (especially) after a deadline trip.
@@ -494,6 +600,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 				return nil, fmt.Errorf("core: output %s: %w", spec.POs[i].Name, ErrNotEquivalent)
 			}
 		}
+		markPhase("verify")
 	}
 	res.Network = net
 	res.Stats = net.CollectStats()
@@ -582,9 +689,11 @@ const ofddNodeBudget = 200_000
 // factored (factoring an incomplete list would change the function);
 // outputs whose OFDD explodes come back with huge=true and an empty
 // form. searchCut reports a polarity search stopped early by the budget
-// (the returned best-so-far form is still exact). The caller wraps this
-// in budget.Guard; a budget trip inside unwinds as panic(*budget.Err).
-func deriveForm(bm *bdd.Manager, f bdd.Ref, opt Options, bud *budget.Budget) (form *fprm.Form, count int64, huge, searchCut bool) {
+// (the returned best-so-far form is still exact). searchWorkers shards
+// an exhaustive polarity search's Gray-code walk (1 = sequential; the
+// result is identical either way). The caller wraps this in
+// budget.Guard; a budget trip inside unwinds as panic(*budget.Err).
+func deriveForm(bm *bdd.Manager, f bdd.Ref, opt Options, bud *budget.Budget, searchWorkers int) (form *fprm.Form, count int64, huge, searchCut bool) {
 	n := bm.NumVars()
 	om := ofdd.New(n, nil)
 	om.SetBudget(bud)
@@ -625,7 +734,7 @@ func deriveForm(bm *bdd.Manager, f bdd.Ref, opt Options, bud *budget.Budget) (fo
 			form, complete = fprm.SearchGreedyBudget(form, bud)
 		case PolarityExhaustive:
 			if n <= opt.exhaustiveLimit() {
-				form, complete = fprm.SearchExhaustiveBudget(form, bud)
+				form, complete = fprm.SearchExhaustiveParallel(form, bud, searchWorkers)
 			} else {
 				form, complete = fprm.SearchGreedyBudget(form, bud)
 			}

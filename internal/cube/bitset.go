@@ -20,6 +20,14 @@ const wordBits = 64
 // BitSet is a fixed-capacity set of small non-negative integers used to
 // represent variable supports and cubes. The zero value is an empty set of
 // capacity 0; use NewBitSet to size it.
+//
+// Bounds behavior: queries (Has) tolerate any non-negative index —
+// everything past the capacity is simply absent — because comparisons
+// between sets of different capacities are routine (Equal, SubsetOf).
+// Mutations (Set, Clear) require i in [0, capacity): silently dropping a
+// write would corrupt the cube it was meant for, so an out-of-range
+// mutation is a programmer invariant violation and panics with a
+// descriptive message rather than the raw index error.
 type BitSet []uint64
 
 // NewBitSet returns an empty BitSet able to hold values in [0, n).
@@ -34,11 +42,26 @@ func (s BitSet) Clone() BitSet {
 	return t
 }
 
-// Set adds i to the set.
-func (s BitSet) Set(i int) { s[i/wordBits] |= 1 << uint(i%wordBits) }
+// Set adds i to the set. The index must be within the set's capacity
+// (see the type comment): a write that cannot land is a call-site bug,
+// not a data condition, and panics.
+func (s BitSet) Set(i int) {
+	w := i / wordBits
+	if i < 0 || w >= len(s) {
+		panic("cube: BitSet.Set index out of range")
+	}
+	s[w] |= 1 << uint(i%wordBits)
+}
 
-// Clear removes i from the set.
-func (s BitSet) Clear(i int) { s[i/wordBits] &^= 1 << uint(i%wordBits) }
+// Clear removes i from the set. Same bounds invariant as Set: clearing a
+// bit the set cannot hold indicates the caller sized the set wrong.
+func (s BitSet) Clear(i int) {
+	w := i / wordBits
+	if i < 0 || w >= len(s) {
+		panic("cube: BitSet.Clear index out of range")
+	}
+	s[w] &^= 1 << uint(i%wordBits)
+}
 
 // Has reports whether i is in the set.
 func (s BitSet) Has(i int) bool {

@@ -1,0 +1,49 @@
+package cube
+
+import "testing"
+
+// The documented bounds split: Has tolerates out-of-capacity queries
+// (absent), while Set/Clear treat them as programmer-invariant
+// violations and panic with a descriptive message.
+func TestBitSetHasToleratesOutOfRange(t *testing.T) {
+	s := NewBitSet(10)
+	s.Set(3)
+	if !s.Has(3) {
+		t.Fatal("set bit not observed")
+	}
+	for _, i := range []int{64, 100, 1 << 20} {
+		if s.Has(i) {
+			t.Fatalf("Has(%d) beyond capacity must be false", i)
+		}
+	}
+	var empty BitSet
+	if empty.Has(0) {
+		t.Fatal("zero-value set has no elements")
+	}
+}
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("want panic %q, got none", want)
+		}
+		if msg, ok := r.(string); !ok || msg != want {
+			t.Fatalf("want panic %q, got %v", want, r)
+		}
+	}()
+	f()
+}
+
+func TestBitSetSetClearBoundsInvariant(t *testing.T) {
+	s := NewBitSet(10) // capacity is one word: indices 0..63 are storable
+	s.Set(63)
+	s.Clear(63)
+	mustPanic(t, "cube: BitSet.Set index out of range", func() { s.Set(64) })
+	mustPanic(t, "cube: BitSet.Set index out of range", func() { s.Set(-1) })
+	mustPanic(t, "cube: BitSet.Clear index out of range", func() { s.Clear(64) })
+	mustPanic(t, "cube: BitSet.Clear index out of range", func() { s.Clear(-1) })
+	var empty BitSet
+	mustPanic(t, "cube: BitSet.Set index out of range", func() { empty.Set(0) })
+}

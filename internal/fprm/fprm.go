@@ -13,6 +13,7 @@ package fprm
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/bdd"
 	"repro/internal/budget"
@@ -223,10 +224,15 @@ func CubeCountFromBDD(m *bdd.Manager, f bdd.Ref, polarity []bool) int64 {
 	return om.CubeCount(om.FromBDD(m, f))
 }
 
+// MaxExhaustiveVars bounds the exhaustive polarity search: the walk
+// visits 2ⁿ polarities, so anything past this is infeasible anyway, and
+// the guard keeps 1<<n from overflowing int on any platform.
+const MaxExhaustiveVars = 30
+
 // SearchExhaustive finds a polarity vector minimizing the cube count by
 // walking all 2ⁿ polarities in Gray-code order with incremental flips.
-// Intended for n ≤ maxExhaustiveVars (the caller should check); cost is
-// O(2ⁿ · m) cube operations.
+// Intended for n ≤ MaxExhaustiveVars (larger n returns the start form
+// unchanged with complete=false); cost is O(2ⁿ · m) cube operations.
 func SearchExhaustive(start *Form) *Form {
 	best, _ := SearchExhaustiveBudget(start, nil)
 	return best
@@ -237,9 +243,13 @@ func SearchExhaustive(start *Form) *Form {
 // exhausted, returning the best form seen so far and whether the walk
 // completed. The partial result is always a valid form of the function
 // (every step preserves it), so an early stop degrades quality, never
-// correctness.
+// correctness. For n > MaxExhaustiveVars the walk is refused outright:
+// it returns (start, false) instead of overflowing 1<<n.
 func SearchExhaustiveBudget(start *Form, b *budget.Budget) (best *Form, complete bool) {
 	n := start.NumVars
+	if n > MaxExhaustiveVars {
+		return start.Clone(), false
+	}
 	cur := start.Clone()
 	best = start.Clone()
 	total := 1 << uint(n)
@@ -258,6 +268,108 @@ func SearchExhaustiveBudget(start *Form, b *budget.Budget) (best *Form, complete
 	return best, true
 }
 
+// SearchExhaustiveParallel shards the exhaustive Gray-code walk across
+// workers: shard k owns a contiguous index range [lo, hi) of the 2ⁿ
+// Gray sequence, seeds its form by flipping the start polarity to
+// gray(lo) = lo ^ (lo>>1), and walks its range with the same incremental
+// flips as the sequential search. The reduction picks the global best by
+// (cube count, literal count, Gray index) — the exact order in which the
+// sequential walk's strict-improvement rule accepts forms — so the
+// result is bit-identical to SearchExhaustiveBudget for any worker
+// count. Budget exhaustion stops each shard independently; complete
+// reports whether every shard finished its range.
+func SearchExhaustiveParallel(start *Form, b *budget.Budget, workers int) (best *Form, complete bool) {
+	n := start.NumVars
+	if n > MaxExhaustiveVars {
+		return start.Clone(), false
+	}
+	total := 1 << uint(n)
+	if workers > total/64 {
+		// Too little work per shard to pay the seeding cost.
+		workers = total / 64
+	}
+	if workers <= 1 {
+		return SearchExhaustiveBudget(start, b)
+	}
+	type shardResult struct {
+		best     *Form
+		idx      int // Gray index where best was first reached
+		complete bool
+	}
+	results := make([]shardResult, workers)
+	chunk := (total + workers - 1) / workers
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		lo, hi := k*chunk, (k+1)*chunk
+		if hi > total {
+			hi = total
+		}
+		if lo >= hi {
+			results[k] = shardResult{complete: true}
+			continue
+		}
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			f, idx, done := searchShard(start, b, lo, hi)
+			results[k] = shardResult{best: f, idx: idx, complete: done}
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	complete = true
+	bestIdx := -1
+	for _, r := range results {
+		complete = complete && r.complete
+		if r.best == nil {
+			continue
+		}
+		if best == nil ||
+			r.best.Cubes.Len() < best.Cubes.Len() ||
+			(r.best.Cubes.Len() == best.Cubes.Len() && r.best.Cubes.Literals() < best.Cubes.Literals()) ||
+			(r.best.Cubes.Len() == best.Cubes.Len() && r.best.Cubes.Literals() == best.Cubes.Literals() && r.idx < bestIdx) {
+			best = r.best
+			bestIdx = r.idx
+		}
+	}
+	if best == nil {
+		// Every shard was cut before seeding (budget exhausted on entry).
+		return start.Clone(), false
+	}
+	return best, complete
+}
+
+// searchShard walks Gray indices [lo, hi) and returns the local best
+// with the index where it was first reached. The seed form at index lo
+// is built by flipping the variables set in gray(lo); FlipPolarity keeps
+// the cube list canonical, so the form at a given index is representa-
+// tion-identical no matter the flip path that reached it.
+func searchShard(start *Form, b *budget.Budget, lo, hi int) (best *Form, idx int, complete bool) {
+	idx = lo
+	if b.Exceeded() != nil {
+		return nil, idx, false
+	}
+	cur := start.Clone()
+	seed := uint(lo) ^ (uint(lo) >> 1)
+	for v := 0; v < cur.NumVars; v++ {
+		if seed&(1<<uint(v)) != 0 {
+			cur.FlipPolarity(v)
+		}
+	}
+	best = cur.Clone()
+	for g := lo + 1; g < hi; g++ {
+		if g&63 == 0 && b.Exceeded() != nil {
+			return best, idx, false
+		}
+		cur.FlipPolarity(bits.TrailingZeros(uint(g)))
+		if cur.Cubes.Len() < best.Cubes.Len() ||
+			(cur.Cubes.Len() == best.Cubes.Len() && cur.Cubes.Literals() < best.Cubes.Literals()) {
+			best = cur.Clone()
+			idx = g
+		}
+	}
+	return best, idx, true
+}
+
 // SearchGreedy improves the polarity by coordinate descent: repeatedly
 // flip the single variable whose flip most reduces the cube count (ties
 // broken by literal count) until no flip helps.
@@ -269,6 +381,11 @@ func SearchGreedy(start *Form) *Form {
 // SearchGreedyBudget is SearchGreedy under a budget: the descent polls the
 // budget before every trial flip and stops early when exhausted, returning
 // the best form so far and whether the descent ran to a local optimum.
+//
+// Each trial flips the candidate variable in place and flips it back —
+// FlipPolarity is an involution on the canonical cube list, so the
+// restore is exact — which makes a descent round O(n) flips instead of
+// the O(n·m) full-form clones a trial-copy scheme would cost.
 func SearchGreedyBudget(start *Form, b *budget.Budget) (best *Form, complete bool) {
 	cur := start.Clone()
 	for {
@@ -279,14 +396,14 @@ func SearchGreedyBudget(start *Form, b *budget.Budget) (best *Form, complete boo
 			if b.Exceeded() != nil {
 				return cur, false
 			}
-			trial := cur.Clone()
-			trial.FlipPolarity(v)
-			if trial.Cubes.Len() < bestCubes ||
-				(trial.Cubes.Len() == bestCubes && trial.Cubes.Literals() < bestLits) {
+			cur.FlipPolarity(v)
+			if cur.Cubes.Len() < bestCubes ||
+				(cur.Cubes.Len() == bestCubes && cur.Cubes.Literals() < bestLits) {
 				bestV = v
-				bestCubes = trial.Cubes.Len()
-				bestLits = trial.Cubes.Literals()
+				bestCubes = cur.Cubes.Len()
+				bestLits = cur.Cubes.Literals()
 			}
+			cur.FlipPolarity(v) // restore: flip is its own inverse
 		}
 		if bestV < 0 {
 			return cur, true

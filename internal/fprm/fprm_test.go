@@ -302,3 +302,106 @@ func TestConstantFunctions(t *testing.T) {
 		t.Errorf("constant 1 form = %s", one)
 	}
 }
+
+// greedyReference is the pre-optimization clone-per-trial implementation
+// of SearchGreedyBudget, kept as the behavioral oracle for the in-place
+// flip/flip-back version.
+func greedyReference(start *Form) *Form {
+	cur := start.Clone()
+	for {
+		bestV := -1
+		bestCubes := cur.Cubes.Len()
+		bestLits := cur.Cubes.Literals()
+		for v := 0; v < cur.NumVars; v++ {
+			trial := cur.Clone()
+			trial.FlipPolarity(v)
+			if trial.Cubes.Len() < bestCubes ||
+				(trial.Cubes.Len() == bestCubes && trial.Cubes.Literals() < bestLits) {
+				bestV = v
+				bestCubes = trial.Cubes.Len()
+				bestLits = trial.Cubes.Literals()
+			}
+		}
+		if bestV < 0 {
+			return cur
+		}
+		cur.FlipPolarity(bestV)
+	}
+}
+
+// Property: the in-place greedy descent lands on exactly the polarity
+// vector and canonical cube set the clone-per-trial reference does.
+func TestGreedyInPlaceMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		tt := randomTT(rng, n)
+		start := FromTruthTable(n, tt, nil)
+		want := greedyReference(start)
+		got := SearchGreedy(start)
+		if !got.Cubes.Equal(want.Cubes) {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if got.Polarity[v] != want.Polarity[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Regression: n above MaxExhaustiveVars must refuse the walk (the old
+// code computed 1<<n unguarded, overflowing for large n) and report the
+// search incomplete with the start form untouched.
+func TestExhaustiveOverflowGuard(t *testing.T) {
+	for _, n := range []int{MaxExhaustiveVars + 1, 63, 64, 200} {
+		start := NewForm(n, nil)
+		start.Cubes.Add(cube.New(n, 0, n-1))
+		start.Cubes.Add(cube.One(n))
+		best, complete := SearchExhaustiveBudget(start, nil)
+		if complete {
+			t.Fatalf("n=%d: walk reported complete", n)
+		}
+		if !best.Cubes.Equal(start.Cubes) || best.Cubes.Len() != 2 {
+			t.Fatalf("n=%d: start form not returned unchanged", n)
+		}
+		pbest, pcomplete := SearchExhaustiveParallel(start, nil, 4)
+		if pcomplete || !pbest.Cubes.Equal(start.Cubes) {
+			t.Fatalf("n=%d: parallel walk must refuse oversized n too", n)
+		}
+	}
+}
+
+// Property: the Gray-prefix sharded exhaustive search returns a form
+// bit-identical to the sequential walk for every worker count.
+func TestExhaustiveParallelMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6) // 2..7 vars
+		tt := randomTT(rng, n)
+		start := FromTruthTable(n, tt, nil)
+		want, wantDone := SearchExhaustiveBudget(start, nil)
+		for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+			got, done := SearchExhaustiveParallel(start, nil, workers)
+			if done != wantDone {
+				return false
+			}
+			if !got.Cubes.Equal(want.Cubes) {
+				return false
+			}
+			for v := 0; v < n; v++ {
+				if got.Polarity[v] != want.Polarity[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
