@@ -8,6 +8,10 @@
 //
 //	rmatpg -circuit z4ml
 //	rmatpg -circuit rd73 -backtracks 50000
+//
+// Exit codes: 0 success, 1 usage error, 2 synthesis failure or interrupt
+// (Ctrl-C/SIGTERM drains synthesis through the degradation ladder, then
+// exits before test generation starts).
 package main
 
 import (
@@ -15,7 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"repro/internal/atpg"
 	"repro/internal/bench"
@@ -31,6 +37,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for synthesis (0 = none)")
 		maxNodes   = flag.Int("max-nodes", 0, "BDD/OFDD node budget (0 = none)")
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "derivation worker count (per-output FPRM fan-out)")
+		retry      = flag.Float64("retry-factor", core.DefaultOptions().RetryFactor, "budget scale for the ladder's one retry of a transiently tripped output (0 = no retry)")
 	)
 	flag.Parse()
 	c, ok := bench.ByName(*circuit)
@@ -40,7 +47,12 @@ func main() {
 	}
 	spec := c.Build()
 
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM cancels both synthesis runs through the budget
+	// path; the degraded results are dropped and the process exits
+	// before the (uncancelable) test generation starts.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx := sigCtx
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -50,6 +62,7 @@ func main() {
 	opt.MaxBDDNodes = *maxNodes
 	opt.MaxOFDDNodes = *maxNodes
 	opt.Workers = *jobs
+	opt.RetryFactor = *retry
 
 	ours, err := core.Synthesize(ctx, spec, opt)
 	if err != nil {
@@ -66,6 +79,12 @@ func main() {
 	}
 	if base.Stopped != "" {
 		fmt.Fprintf(os.Stderr, "rmatpg: baseline stopped early: %s\n", base.Stopped)
+	}
+	// Testability numbers for a degraded (interrupted) network would be
+	// misleading, and PODEM does not take a context — stop here.
+	if sigCtx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "rmatpg: interrupted; skipping test generation")
+		os.Exit(2)
 	}
 
 	fmt.Printf("%s (%d/%d)\n", c.Name, c.In, c.Out)

@@ -10,18 +10,34 @@
 //	rmbench -only z4ml,t481,add6  # a subset
 //	rmbench -arith                # arithmetic circuits only
 //	rmbench -csv table2.csv       # also write CSV
+//
+// Exit codes: 0 success, 2 I/O failure or interrupt (Ctrl-C/SIGTERM; the
+// running circuit drains through the degradation ladder and every
+// completed row is still printed and flushed to the CSV).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 )
+
+// exitFail follows rmsyn's exit-code convention: 2 for run/I/O failure,
+// including an interrupt after the partial table has been flushed.
+const exitFail = 2
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rmbench:", err)
+	os.Exit(exitFail)
+}
 
 func main() {
 	var (
@@ -32,11 +48,20 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget per circuit (0 = none)")
 		maxNodes = flag.Int("max-nodes", 0, "BDD/OFDD node budget per circuit (0 = none)")
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "derivation worker count (per-output FPRM fan-out)")
+		retry    = flag.Float64("retry-factor", core.DefaultOptions().RetryFactor, "budget scale for the ladder's one retry of a transiently tripped output (0 = no retry)")
 	)
 	flag.Parse()
 
+	// Ctrl-C / SIGTERM cancels the circuit in flight through the budget
+	// path; the loop below then stops between circuits so every finished
+	// row still reaches the table and the CSV.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opt := bench.DefaultOptions()
 	opt.Core.Method = core.Method(*method)
+	opt.Core.RetryFactor = *retry
+	opt.Ctx = sigCtx
 	opt.Timeout = *timeout
 	opt.MaxBDDNodes = *maxNodes
 	opt.Workers = *jobs
@@ -50,11 +75,30 @@ func main() {
 		opt.Include = func(c bench.Circuit) bool { return c.Arith }
 	}
 
+	// Open the CSV before the run and stream rows as circuits complete,
+	// so an interrupt or a crash late in the table loses nothing.
+	var csvFile *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fail(err)
+		}
+		csvFile = f
+		if err := bench.WriteCSVHeader(csvFile); err != nil {
+			fail(err)
+		}
+	}
+
 	fmt.Fprintf(os.Stderr, "derivation workers: %d\n", *jobs)
 	var rows []bench.Row
+	interrupted := false
 	for _, c := range bench.Circuits() {
 		if opt.Include != nil && !opt.Include(c) {
 			continue
+		}
+		if sigCtx.Err() != nil {
+			interrupted = true
+			break
 		}
 		fmt.Fprintf(os.Stderr, "running %-10s (%d/%d)...\n", c.Name, c.In, c.Out)
 		r := bench.RunCircuit(c, opt)
@@ -62,19 +106,36 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  %s: workers=%d %s\n", c.Name, r.Workers, r.OursPhases)
 		}
 		rows = append(rows, r)
+		if csvFile != nil {
+			if err := bench.WriteCSVRow(csvFile, r); err != nil {
+				fail(err)
+			}
+		}
 	}
+	interrupted = interrupted || sigCtx.Err() != nil
+
 	arithRow, allRow := bench.Summaries(rows)
 	bench.WriteTable(os.Stdout, rows, arithRow, allRow)
 	fmt.Printf("\npaper reference: Total arith. improve %%lits = 17.3, %%power = 22.4; Total all = 11.9 / 18.0\n")
 
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rmbench:", err)
-			os.Exit(1)
+	if csvFile != nil {
+		var werr error
+		werr = bench.WriteCSVRow(csvFile, arithRow)
+		if err := bench.WriteCSVRow(csvFile, allRow); werr == nil {
+			werr = err
 		}
-		defer f.Close()
-		bench.WriteCSV(f, rows, arithRow, allRow)
+		// Close errors matter here: the CSV is the artifact of a long
+		// run, and a full disk must not report success.
+		if err := csvFile.Close(); werr == nil {
+			werr = err
+		}
+		if werr != nil {
+			fail(werr)
+		}
 		fmt.Printf("wrote %s\n", *csvPath)
+	}
+
+	if interrupted {
+		fail(fmt.Errorf("interrupted after %d circuits; partial table and CSV flushed", len(rows)))
 	}
 }

@@ -22,7 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
@@ -53,6 +55,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for synthesis (0 = none)")
 		maxNodes  = flag.Int("max-nodes", 0, "BDD/OFDD node budget (0 = none)")
 		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "derivation worker count (per-output FPRM fan-out)")
+		retry     = flag.Float64("retry-factor", core.DefaultOptions().RetryFactor, "budget scale for the ladder's one retry of a transiently tripped output (0 = no retry)")
 	)
 	// Parse manually so malformed flags exit with the documented usage
 	// code (flag.ExitOnError would exit 2, the synthesis-failure code).
@@ -99,8 +102,14 @@ func main() {
 	opt.MaxBDDNodes = *maxNodes
 	opt.MaxOFDDNodes = *maxNodes
 	opt.Workers = *jobs
+	opt.RetryFactor = *retry
 
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM cancels the synthesis context: the flow drains
+	// through the degradation ladder (partial results are still printed
+	// below) instead of the process dying mid-phase.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx := sigCtx
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -144,6 +153,13 @@ func main() {
 			fail(exitVerify, fmt.Errorf("verification FAILED: result is not equivalent to the specification"))
 		}
 		fmt.Println("          verified equivalent to the specification")
+	}
+	// An interrupt drained the ladder above; the stats and degradation
+	// report for the partial result are already printed, so exit under
+	// the documented convention instead of starting mapping or baseline
+	// work the user just asked to stop.
+	if sigCtx.Err() != nil {
+		fail(exitSynth, errors.New("interrupted; partial (degraded) result reported above"))
 	}
 	if *doMap {
 		m, err := techmap.Map(res.Network, techmap.Library())

@@ -46,12 +46,13 @@ type iteKey struct{ f, g, h Ref }
 // panic(*budget.Err), which callers recover through budget.Guard at the
 // phase boundary (see package budget).
 type Manager struct {
-	numVars int
-	nodes   []node
-	unique  map[uniqueKey]Ref
-	iteTab  map[iteKey]Ref
-	vars    []Ref // cached single-variable BDDs
-	bud     *budget.Budget
+	numVars   int
+	nodes     []node
+	unique    map[uniqueKey]Ref
+	iteTab    map[iteKey]Ref
+	vars      []Ref // cached single-variable BDDs
+	bud       *budget.Budget
+	allocHook func(nodes int) *budget.Err
 }
 
 // New returns a manager over n variables (order = index order).
@@ -74,6 +75,14 @@ func New(n int) *Manager {
 // While attached, node growth and ITE steps trip the budget when
 // exhausted; the trip is recovered by budget.Guard in the caller.
 func (m *Manager) SetBudget(b *budget.Budget) { m.bud = b }
+
+// SetAllocHook installs a fault-injection probe on node allocation (nil
+// removes it). The hook sees the node count the allocation would reach;
+// a non-nil *budget.Err unwinds exactly like a budget trip, recovered
+// by budget.Guard at the phase boundary. Used only by the deterministic
+// chaos harness (internal/chaos); the disabled path costs one nil check
+// per fresh node.
+func (m *Manager) SetAllocHook(h func(nodes int) *budget.Err) { m.allocHook = h }
 
 // NumVars returns the number of variables of the manager.
 func (m *Manager) NumVars() int { return m.numVars }
@@ -108,6 +117,11 @@ func (m *Manager) mk(v int32, lo, hi Ref) Ref {
 		return r
 	}
 	m.bud.CheckBDDNodes(len(m.nodes) + 1)
+	if m.allocHook != nil {
+		if e := m.allocHook(len(m.nodes) + 1); e != nil {
+			panic(e)
+		}
+	}
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, node{v: v, lo: lo, hi: hi})
 	m.unique[k] = r

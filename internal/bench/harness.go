@@ -71,6 +71,12 @@ type Options struct {
 	Verify  bool            // check both results against the specification
 	Include func(c Circuit) bool
 
+	// Ctx is the base context every per-circuit deadline derives from;
+	// nil means context.Background(). Canceling it (e.g. from a signal
+	// handler) drains the running circuit through the degradation
+	// ladder instead of killing the process mid-run.
+	Ctx context.Context
+
 	// Timeout bounds each circuit's synthesis (both flows) in wall-clock
 	// time; 0 means no deadline. A circuit that hits it still produces a
 	// row — the budgeted flow degrades instead of failing — and the row's
@@ -94,7 +100,10 @@ func RunCircuit(c Circuit, opt Options) Row {
 	row := Row{Name: c.Name, In: c.In, Out: c.Out, Arith: c.Arith, Note: c.Note, Verified: true}
 	spec := c.Build()
 
-	ctx := context.Background()
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
@@ -258,19 +267,30 @@ func WriteTable(w io.Writer, rows []Row, arith, all Row) {
 	}
 }
 
-// WriteCSV renders rows as CSV for downstream analysis.
+// WriteCSVHeader writes the CSV column header. Together with
+// WriteCSVRow it lets callers stream rows as circuits complete, so an
+// interrupt or a late failure keeps every finished row on disk.
+func WriteCSVHeader(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "circuit,in,out,arith,sis_lits,sis_time_s,ours_lits,ours_time_s,sis_gates,sis_map_lits,ours_gates,ours_map_lits,improve_lits_pct,improve_power_pct,workers,ours_phases,verified,note")
+	return err
+}
+
+// WriteCSVRow renders one row in the WriteCSVHeader column order.
+func WriteCSVRow(w io.Writer, r Row) error {
+	_, err := fmt.Fprintf(w, "%s,%d,%d,%t,%d,%.4f,%d,%.4f,%d,%d,%d,%d,%.2f,%.2f,%d,%q,%t,%q\n",
+		r.Name, r.In, r.Out, r.Arith,
+		r.SISLits, r.SISTime.Seconds(), r.OursLits, r.OursTime.Seconds(),
+		r.SISGates, r.SISMapLits, r.OursGates, r.OursMapLits,
+		r.ImproveLits, r.ImprovePower, r.Workers, r.OursPhases, r.Verified, r.Note)
+	return err
+}
+
+// WriteCSV renders a complete row set as CSV for downstream analysis.
 func WriteCSV(w io.Writer, rows []Row, arith, all Row) {
-	fmt.Fprintln(w, "circuit,in,out,arith,sis_lits,sis_time_s,ours_lits,ours_time_s,sis_gates,sis_map_lits,ours_gates,ours_map_lits,improve_lits_pct,improve_power_pct,workers,ours_phases,verified,note")
-	emit := func(r Row) {
-		fmt.Fprintf(w, "%s,%d,%d,%t,%d,%.4f,%d,%.4f,%d,%d,%d,%d,%.2f,%.2f,%d,%q,%t,%q\n",
-			r.Name, r.In, r.Out, r.Arith,
-			r.SISLits, r.SISTime.Seconds(), r.OursLits, r.OursTime.Seconds(),
-			r.SISGates, r.SISMapLits, r.OursGates, r.OursMapLits,
-			r.ImproveLits, r.ImprovePower, r.Workers, r.OursPhases, r.Verified, r.Note)
-	}
+	WriteCSVHeader(w)
 	for _, r := range rows {
-		emit(r)
+		WriteCSVRow(w, r)
 	}
-	emit(arith)
-	emit(all)
+	WriteCSVRow(w, arith)
+	WriteCSVRow(w, all)
 }

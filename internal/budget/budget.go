@@ -92,7 +92,26 @@ type Budget struct {
 	lim      Limits
 	steps    atomic.Int64
 	tripped  atomic.Pointer[Err] // first sticky trip, memoized so later checks fail fast
+	stepHook StepHook
+	polls    atomic.Int64
+	pollHook PollHook
 }
+
+// StepHook is a fault-injection probe consulted on every counted work
+// step (see SetStepHook). It receives the phase tag and the global step
+// number just consumed; returning a non-nil *Err makes the budget trip
+// with exactly that error. Hooks run on whichever goroutine took the
+// step, so they must be safe for concurrent use; deterministic hooks
+// key off the step number (the atomic counter hands each value to
+// exactly one goroutine) rather than off their own state.
+type StepHook func(phase string, step int64) *Err
+
+// PollHook is a fault-injection probe consulted on every Exceeded poll
+// (see SetPollHook). It receives the ordinal of the poll; returning a
+// non-nil *Err makes that poll — and every later check — report the
+// injected error. Poll trips are always sticky: Exceeded models
+// *observed* exhaustion, which callers assume does not heal.
+type PollHook func(poll int64) *Err
 
 // New returns a Budget over the context's deadline/cancellation and the
 // given limits. A nil ctx is treated as context.Background().
@@ -106,6 +125,30 @@ func New(ctx context.Context, lim Limits) *Budget {
 		b.hasDL = true
 	}
 	return b
+}
+
+// SetStepHook installs a fault-injection step probe (nil removes it).
+// The hook is for the deterministic chaos harness (internal/chaos):
+// production budgets never set one, and the disabled path costs a
+// single nil check per step. Install hooks before sharing the budget
+// across goroutines; the field is not synchronized.
+func (b *Budget) SetStepHook(h StepHook) {
+	if b == nil {
+		return
+	}
+	b.stepHook = h
+}
+
+// SetPollHook installs a fault-injection poll probe (nil removes it).
+// Like SetStepHook this exists for internal/chaos only: the disabled
+// path costs one nil check per Exceeded call, and the poll counter is
+// not even incremented when no hook is installed. Install before
+// sharing the budget across goroutines.
+func (b *Budget) SetPollHook(h PollHook) {
+	if b == nil {
+		return
+	}
+	b.pollHook = h
 }
 
 // Limits returns the configured caps.
@@ -153,15 +196,35 @@ func (b *Budget) Step(phase string) {
 		return
 	}
 	if t := b.tripped.Load(); t != nil {
-		b.trip(phase, t.Limit, t.Max, t.Used)
+		// Fail fast with the memoized error itself: the trip is reported
+		// at the phase where the resource was first exhausted (matching
+		// what Exceeded returns), not wherever the next step happened.
+		panic(t)
 	}
 	s := b.steps.Add(1)
+	if b.stepHook != nil {
+		if e := b.stepHook(phase, s); e != nil {
+			b.inject(e)
+		}
+	}
 	if b.lim.Steps > 0 && s > b.lim.Steps {
 		b.trip(phase, "steps", b.lim.Steps, s)
 	}
 	if s&checkMask == 0 {
 		b.checkTime(phase)
 	}
+}
+
+// inject trips the budget with a hook-supplied error, applying the same
+// stickiness rules as trip: globally-spent limits are memoized so every
+// later check converges on the injected error, per-phase limits stay
+// transient (exactly what the retry rung recovers from).
+func (b *Budget) inject(e *Err) {
+	switch e.Limit {
+	case "deadline", "canceled", "steps":
+		b.tripped.CompareAndSwap(nil, e)
+	}
+	panic(e)
 }
 
 // checkTime trips on an expired deadline or a canceled context.
@@ -214,6 +277,43 @@ func (b *Budget) CubesAllowed(count int64) bool {
 	return count <= b.lim.Cubes
 }
 
+// Relaxed returns a fresh budget over the same context with every
+// configured cap scaled by f (never below the parent's cap) and zeroed
+// counters — the slice the budgeted-retry rung runs one retry on. The
+// wall-clock deadline and cancellation still govern the slice; the
+// parent's sticky trips and step hook are deliberately not inherited,
+// because the caller retries only after a transient per-phase trip
+// (nodes, cubes), never after a globally-spent resource.
+func (b *Budget) Relaxed(f float64) *Budget {
+	if b == nil {
+		return nil
+	}
+	if f < 1 {
+		f = 1
+	}
+	scale := func(v int64) int64 {
+		if v <= 0 {
+			return 0
+		}
+		s := int64(float64(v) * f)
+		if s < v { // overflow or f≈1 rounding: never shrink the cap
+			s = v
+		}
+		return s
+	}
+	return &Budget{
+		ctx:      b.ctx,
+		deadline: b.deadline,
+		hasDL:    b.hasDL,
+		lim: Limits{
+			BDDNodes:  int(scale(int64(b.lim.BDDNodes))),
+			OFDDNodes: int(scale(int64(b.lim.OFDDNodes))),
+			Cubes:     scale(b.lim.Cubes),
+			Steps:     scale(b.lim.Steps),
+		},
+	}
+}
+
 // Exceeded reports — without panicking — whether the budget is already
 // exhausted (a previous trip, an expired deadline, or a canceled
 // context). Phases that can stop gracefully (polarity search, the
@@ -227,6 +327,12 @@ func (b *Budget) Exceeded() error {
 	}
 	if t := b.tripped.Load(); t != nil {
 		return t
+	}
+	if b.pollHook != nil {
+		if e := b.pollHook(b.polls.Add(1)); e != nil {
+			b.tripped.CompareAndSwap(nil, e)
+			return b.tripped.Load()
+		}
 	}
 	if b.hasDL && !time.Now().Before(b.deadline) {
 		b.tripped.CompareAndSwap(nil, &Err{Phase: "poll", Limit: "deadline"})

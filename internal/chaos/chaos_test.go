@@ -1,0 +1,31 @@
+package chaos
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestChaosSweep runs the full chaos sweep: the deterministic plan set
+// plus a few seeded random plans per circuit, at one and four workers.
+// The CI chaos leg scales it up via CHAOS_CIRCUITS / CHAOS_PLANS.
+func TestChaosSweep(t *testing.T) {
+	opt := SweepOptions{RandomPlans: 6}
+	if v := os.Getenv("CHAOS_CIRCUITS"); v != "" {
+		opt.Circuits = strings.Split(v, ",")
+	}
+	if v := os.Getenv("CHAOS_PLANS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("CHAOS_PLANS=%q: %v", v, err)
+		}
+		opt.RandomPlans = n
+	}
+	if testing.Verbose() {
+		opt.Logf = t.Logf
+	}
+	for _, v := range Sweep(opt) {
+		t.Errorf("%s", v)
+	}
+}

@@ -127,6 +127,72 @@ type Options struct {
 	// per-output slots in output order. The factor/emit phases stay
 	// sequential (they share the emitter and divisor registries).
 	Workers int
+
+	// RetryFactor configures the budgeted-retry rung of the ladder: an
+	// output whose derivation or factoring trips a transient per-phase
+	// cap (BDD/OFDD nodes, cubes — never a spent deadline, cancellation,
+	// or step budget) is retried once on a fresh budget slice with every
+	// cap scaled by this factor, before falling back to the structural
+	// spec-cone copy. The attempt is recorded in Degradations as
+	// stage → "retry", and a failed retry as "retry" → "spec-cone".
+	// 0 disables the rung; DefaultOptions uses 2. The retry slice keeps
+	// the run's deadline, so a retry can add at most RetryFactor× one
+	// output's capped work, never unbounded time.
+	RetryFactor float64
+
+	// Hooks carries the deterministic fault-injection probe points used
+	// by the chaos harness (package internal/chaos) to force every rung
+	// of the ladder in tests. Nil in production; every probe site then
+	// degenerates to a nil check.
+	Hooks *ProbeHooks
+}
+
+// ProbeHooks are the fault-injection probe points threaded through one
+// synthesis run. All fields are optional. Hooks observe or perturb the
+// flow (panic, context cancel, injected budget trips, delays); the
+// chaos harness asserts that no perturbation can make Synthesize panic,
+// return an unverified network, or misreport its degradations.
+type ProbeHooks struct {
+	// BudgetStep is installed on the run's budget via SetStepHook: it
+	// sees every counted work step and can trip the budget with an
+	// injected *budget.Err. It is not inherited by retry-rung budget
+	// slices (a transient injected trip is exactly what the retry rung
+	// is meant to absorb); target retries through OFDDAlloc instead.
+	BudgetStep budget.StepHook
+	// BudgetPoll is installed on the run's budget via SetPollHook: it
+	// sees every graceful Exceeded poll (polarity search, phase
+	// pre-checks) and can make the budget report injected exhaustion.
+	// Poll trips are sticky — the way to force the best-so-far rung,
+	// which only ever polls.
+	BudgetPoll budget.PollHook
+	// BDDAlloc is installed on the shared specification BDD manager,
+	// which only grows during the sequential phases (spec-bdd, factor,
+	// redund, merge), so its allocation numbering is deterministic at
+	// any worker count.
+	BDDAlloc func(nodes int) *budget.Err
+	// OFDDAlloc returns the allocation probe for one output's
+	// derivation OFDD manager (nil = no probe). Managers are
+	// per-output, so the probe's numbering is deterministic at any
+	// worker count. The factory is invoked once per derivation attempt
+	// — the retry rung's second attempt calls it again — letting a plan
+	// model both transient faults (fail the first attempt only) and
+	// persistent ones (fail every attempt).
+	OFDDAlloc func(output int) func(nodes int) *budget.Err
+	// FactorOFDDAlloc returns an allocation probe for one factor-phase
+	// OFDD manager. The factory is invoked once per context creation —
+	// the shared per-polarity contexts of the first attempt and the
+	// fresh one-shot contexts of each retry — so a plan can model a
+	// transient fault that only the retry escapes.
+	FactorOFDDAlloc func() func(nodes int) *budget.Err
+	// Phase is called on entry to every pipeline phase ("setup",
+	// "spec-bdd", "fprm", "factor", "emit", "do-no-harm-prep", "redund",
+	// "merge", "verify"). A panic here exercises the residual recover
+	// boundary; canceling the run's context exercises the ladder.
+	Phase func(name string)
+	// Worker is called at the start of each per-output derivation with
+	// the worker and output indices, inside the worker goroutine —
+	// injected delays there must not change the merged result.
+	Worker func(worker, output int)
 }
 
 // DefaultOptions returns the paper's flow: cube-method factorization with
@@ -136,12 +202,13 @@ type Options struct {
 // verification, and cross-output node merging.
 func DefaultOptions() Options {
 	return Options{
-		Method:     MethodCube,
-		Polarity:   PolarityGreedy,
-		Rules:      true,
-		Redund:     true,
-		Verify:     true,
-		MergeNodes: true,
+		Method:      MethodCube,
+		Polarity:    PolarityGreedy,
+		Rules:       true,
+		Redund:      true,
+		Verify:      true,
+		MergeNodes:  true,
+		RetryFactor: 2,
 	}
 }
 
@@ -193,8 +260,8 @@ func (o Options) workers() int {
 // instead, and why.
 type Degradation struct {
 	Output   string // PO name, or "*" for the whole network
-	Stage    string // pipeline stage: "spec-bdd", "fprm", "polarity-search", "factor", "redund", "merge", "do-no-harm"
-	Fallback string // what ran instead: "swept-spec", "spec-cone", "best-so-far", "skipped"
+	Stage    string // pipeline stage: "spec-bdd", "fprm", "polarity-search", "factor", "retry", "redund", "merge", "do-no-harm"
+	Fallback string // what ran instead: "swept-spec", "spec-cone", "best-so-far", "skipped", "partial", "retry"
 	Reason   string // the budget error or condition that triggered it
 }
 
@@ -265,6 +332,16 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 		}
 	}()
 
+	// enterPhase tags the residual-panic boundary and fires the chaos
+	// phase probe; with no hooks installed it is a plain assignment.
+	enterPhase := func(name string) {
+		phase = name
+		if opt.Hooks != nil && opt.Hooks.Phase != nil {
+			opt.Hooks.Phase(name)
+		}
+	}
+	enterPhase("setup")
+
 	nPI := spec.NumPIs()
 	bud := budget.New(ctx, budget.Limits{
 		BDDNodes:  opt.MaxBDDNodes,
@@ -272,6 +349,12 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 		Cubes:     opt.MaxCubes,
 		Steps:     opt.MaxSteps,
 	})
+	if opt.Hooks != nil && opt.Hooks.BudgetStep != nil {
+		bud.SetStepHook(opt.Hooks.BudgetStep)
+	}
+	if opt.Hooks != nil && opt.Hooks.BudgetPoll != nil {
+		bud.SetPollHook(opt.Hooks.BudgetPoll)
+	}
 	if perr := bud.Exceeded(); perr != nil {
 		// Deadline already expired (or context canceled) before any work:
 		// bottom of the ladder immediately.
@@ -286,7 +369,10 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 
 	bm := bdd.New(nPI)
 	bm.SetBudget(bud)
-	phase = "spec-bdd"
+	if opt.Hooks != nil && opt.Hooks.BDDAlloc != nil {
+		bm.SetAllocHook(opt.Hooks.BDDAlloc)
+	}
+	enterPhase("spec-bdd")
 	var outs []bdd.Ref
 	if gerr := budget.Guard(func() { outs = spec.ToBDDs(bm) }); gerr != nil {
 		// Cannot even build the specification BDDs within budget: the
@@ -341,7 +427,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 	// specification cone (cone[oi]), never failing the run. Results land
 	// in per-output slots and merge in output order, so the network is
 	// bit-identical for every worker count.
-	phase = "fprm"
+	enterPhase("fprm")
 	res.Forms = make([]*fprm.Form, len(outs))
 	res.CubeCounts = make([]int64, len(outs))
 	cone := make([]bool, len(outs))
@@ -363,7 +449,13 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 	}
 	slotDegs := make([][]Degradation, len(outs))
 	residual := make([]any, len(outs))
-	deriveOne := func(oi int) {
+	ofddHook := func(oi int) func(nodes int) *budget.Err {
+		if opt.Hooks != nil && opt.Hooks.OFDDAlloc != nil {
+			return opt.Hooks.OFDDAlloc(oi)
+		}
+		return nil
+	}
+	deriveOne := func(w, oi int) {
 		// Residual (non-budget) panics cannot cross the goroutine
 		// boundary to Synthesize's recover; capture them here and
 		// re-raise on the main goroutine after the merge barrier.
@@ -372,6 +464,9 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 				residual[oi] = r
 			}
 		}()
+		if opt.Hooks != nil && opt.Hooks.Worker != nil {
+			opt.Hooks.Worker(w, oi)
+		}
 		oname := spec.POs[oi].Name
 		if perr := bud.Exceeded(); perr != nil {
 			res.Forms[oi] = fprm.NewForm(nPI, nil)
@@ -384,18 +479,42 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 		var count int64
 		var isHuge, searchCut bool
 		gerr := budget.Guard(func() {
-			form, count, isHuge, searchCut = deriveForm(bm, outs[oi], opt, bud, searchWorkers)
+			form, count, isHuge, searchCut = deriveForm(bm, outs[oi], opt, bud, searchWorkers, 1, ofddHook(oi))
 		})
-		if gerr != nil {
+		if gerr != nil || isHuge {
+			reason := "OFDD node cap exceeded"
+			if gerr != nil {
+				reason = gerr.Error()
+			}
+			stage := "fprm"
+			// Budgeted-retry rung: a transient per-phase cap trip gets
+			// one retry on a relaxed budget slice before the output
+			// falls all the way to the spec-cone copy.
+			if opt.RetryFactor > 0 && retryableTrip(gerr, isHuge) {
+				slotDegs[oi] = append(slotDegs[oi], Degradation{oname, "fprm", "retry", reason})
+				rerr := budget.Guard(func() {
+					form, count, isHuge, searchCut = deriveForm(bm, outs[oi], opt,
+						bud.Relaxed(opt.RetryFactor), searchWorkers, opt.RetryFactor, ofddHook(oi))
+				})
+				if rerr == nil && !isHuge {
+					res.Forms[oi] = form
+					res.CubeCounts[oi] = count
+					if searchCut {
+						slotDegs[oi] = append(slotDegs[oi], Degradation{oname, "polarity-search", "best-so-far", "budget exhausted during polarity search"})
+					}
+					return
+				}
+				reason = "OFDD node cap exceeded"
+				if rerr != nil {
+					reason = rerr.Error()
+				}
+				stage = "retry"
+			}
 			res.Forms[oi] = fprm.NewForm(nPI, nil)
 			res.CubeCounts[oi] = -1
 			cone[oi] = true
-			slotDegs[oi] = append(slotDegs[oi], Degradation{oname, "fprm", "spec-cone", gerr.Error()})
+			slotDegs[oi] = append(slotDegs[oi], Degradation{oname, stage, "spec-cone", reason})
 			return
-		}
-		if isHuge {
-			cone[oi] = true
-			slotDegs[oi] = append(slotDegs[oi], Degradation{oname, "fprm", "spec-cone", "OFDD node cap exceeded"})
 		}
 		if searchCut {
 			slotDegs[oi] = append(slotDegs[oi], Degradation{oname, "polarity-search", "best-so-far", "budget exhausted during polarity search"})
@@ -405,19 +524,19 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 	}
 	if workers == 1 {
 		for oi := range outs {
-			deriveOne(oi)
+			deriveOne(0, oi)
 		}
 	} else {
 		jobs := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for oi := range jobs {
-					deriveOne(oi)
+					deriveOne(w, oi)
 				}
-			}()
+			}(w)
 		}
 		for oi := range outs {
 			jobs <- oi
@@ -447,7 +566,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 		return res.CubeCounts[orderAsc[a]] < res.CubeCounts[orderAsc[b]]
 	})
 
-	phase = "factor"
+	enterPhase("factor")
 	cubeMethodCap := effectiveCap(opt.cubeMethodLimit(), bud.Limits().Cubes)
 	exprs := make([]*factor.Expr, len(outs))
 	for _, oi := range orderAsc {
@@ -472,10 +591,11 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 			degrade(oname, "cube-method", "ofdd-method",
 				fmt.Sprintf("cube budget %d below FPRM cube count %d", bud.Limits().Cubes, res.CubeCounts[oi]))
 		}
-		gerr := budget.Guard(func() {
+		factorOne := func(fo factor.Options, fbud *budget.Budget,
+			cubeCtxs map[string]*factor.Context, ofddCtxs map[string]*factor.OFDDContext) {
 			var e *factor.Expr
 			if useCube && opt.ESOP {
-				if de := deriveESOP(form, fopt, cubeCtxs); de != nil {
+				if de := deriveESOP(form, fo, cubeCtxs); de != nil {
 					exprs[oi] = de
 					return
 				}
@@ -483,7 +603,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 			if useCube {
 				cx, ok := cubeCtxs[key]
 				if !ok {
-					cx = factor.NewContext(fopt)
+					cx = factor.NewContext(fo)
 					cubeCtxs[key] = cx
 				}
 				e = cx.Factor(form.Cubes)
@@ -491,8 +611,11 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 				cx, ok := ofddCtxs[key]
 				if !ok {
 					om := ofdd.New(nPI, form.Polarity)
-					om.SetBudget(bud)
-					cx = factor.NewOFDDContext(om, fopt)
+					om.SetBudget(fbud)
+					if opt.Hooks != nil && opt.Hooks.FactorOFDDAlloc != nil {
+						om.SetAllocHook(opt.Hooks.FactorOFDDAlloc())
+					}
+					cx = factor.NewOFDDContext(om, fo)
 					ofddCtxs[key] = cx
 				}
 				e = cx.Factor(cx.M.FromBDD(bm, outs[oi]))
@@ -500,8 +623,27 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 			// Rewrite literal space into PI space so one emitter serves all
 			// outputs even when their polarity vectors differ.
 			exprs[oi] = applyPolarity(e, form.Polarity)
-		})
-		if gerr != nil {
+		}
+		gerr := budget.Guard(func() { factorOne(fopt, bud, cubeCtxs, ofddCtxs) })
+		if gerr != nil && opt.RetryFactor > 0 && retryableTrip(gerr, false) {
+			// Budgeted-retry rung, factor edition: one retry on a relaxed
+			// slice with fresh one-shot contexts — the shared registries
+			// keep the original budget and may hold the half-state of the
+			// tripped attempt, so the retry must not touch them (its
+			// divisors simply go unshared, a quality loss only).
+			degrade(oname, "factor", "retry", gerr.Error())
+			rbud := bud.Relaxed(opt.RetryFactor)
+			rfopt := factor.Options{ApplyRules: opt.Rules, Budget: rbud}
+			gerr = budget.Guard(func() {
+				factorOne(rfopt, rbud,
+					map[string]*factor.Context{}, map[string]*factor.OFDDContext{})
+			})
+			if gerr != nil {
+				cone[oi] = true
+				exprs[oi] = nil
+				degrade(oname, "retry", "spec-cone", gerr.Error())
+			}
+		} else if gerr != nil {
 			cone[oi] = true
 			exprs[oi] = nil
 			degrade(oname, "factor", "spec-cone", gerr.Error())
@@ -509,7 +651,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 	}
 	markPhase("factor")
 
-	phase = "emit"
+	enterPhase("emit")
 	poGate := make([]int, len(outs))
 	for i := len(orderAsc) - 1; i >= 0; i-- {
 		oi := orderAsc[i]
@@ -538,7 +680,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 	// Prepare the do-no-harm reference early: when the factored network
 	// is already far larger than the cleaned specification, redundancy
 	// removal cannot close the gap and the time is better saved.
-	phase = "do-no-harm-prep"
+	enterPhase("do-no-harm-prep")
 	var specOpt *network.Network
 	if !opt.NoFallback {
 		specOpt = spec.Clone()
@@ -555,7 +697,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 	}
 	hopeless := specOpt != nil && net.CollectStats().Gates2 > 8*specOpt.CollectStats().Gates2
 
-	phase = "redund"
+	enterPhase("redund")
 	if opt.Redund && !hopeless {
 		if perr := bud.Exceeded(); perr != nil {
 			degrade("*", "redund", "skipped", perr.Error())
@@ -574,11 +716,20 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 				net = snap
 				res.Redund = redund.Result{}
 				degrade("*", "redund", "skipped", gerr.Error())
+			} else if res.Redund.BudgetCut {
+				// The pass stopped early but kept its committed
+				// reductions: weaker optimization, not a fallback
+				// network — still worth a truthful ladder entry.
+				reason := "budget exhausted"
+				if perr := bud.Exceeded(); perr != nil {
+					reason = perr.Error()
+				}
+				degrade("*", "redund", "partial", reason)
 			}
 		}
 	}
 	markPhase("redund")
-	phase = "merge"
+	enterPhase("merge")
 	if opt.MergeNodes {
 		// Safe without a snapshot: mutation happens only after the BDD
 		// signature loop, the sole place a budget trip can occur.
@@ -592,8 +743,9 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 	// The budget is detached first — verification must always run to
 	// completion, even (especially) after a deadline trip.
 	if opt.Verify {
-		phase = "verify"
+		enterPhase("verify")
 		bm.SetBudget(nil)
+		bm.SetAllocHook(nil) // like the budget, probes must not fail verification
 		got := net.ToBDDs(bm)
 		for i := range got {
 			if got[i] != outs[i] {
@@ -670,7 +822,11 @@ func simVerify(spec, net *network.Network) error {
 		}
 		return nil
 	}
-	if o := verify.RandomCheck(spec, net, 4096, 1); o >= 0 {
+	o, err := verify.RandomCheck(spec, net, 4096, 1)
+	if err != nil {
+		return err
+	}
+	if o >= 0 {
 		return fmt.Errorf("core: fallback network output %d: %w", o, ErrNotEquivalent)
 	}
 	return nil
@@ -682,6 +838,23 @@ func simVerify(spec, net *network.Network) error {
 // FPRM flow entirely.
 const ofddNodeBudget = 200_000
 
+// retryableTrip reports whether a derivation or factoring failure is a
+// transient per-phase cap trip — an OFDD blowup (huge) or a nodes/cubes
+// budget error — that the budgeted-retry rung may retry. Globally-spent
+// resources (deadline, cancellation, steps) and non-budget errors are
+// never retried: the resource stays spent, so the retry would only burn
+// more of it.
+func retryableTrip(err error, huge bool) bool {
+	if huge {
+		return true
+	}
+	var be *budget.Err
+	if !errors.As(err, &be) {
+		return false
+	}
+	return be.Limit == "nodes" || be.Limit == "cubes"
+}
+
 // deriveForm computes the FPRM form of one output with the configured
 // polarity search. For outputs whose cube count exceeds the materialize
 // limit, a sampled form (for pattern generation) is returned — the
@@ -691,13 +864,22 @@ const ofddNodeBudget = 200_000
 // form. searchCut reports a polarity search stopped early by the budget
 // (the returned best-so-far form is still exact). searchWorkers shards
 // an exhaustive polarity search's Gray-code walk (1 = sequential; the
-// result is identical either way). The caller wraps this in
-// budget.Guard; a budget trip inside unwinds as panic(*budget.Err).
-func deriveForm(bm *bdd.Manager, f bdd.Ref, opt Options, bud *budget.Budget, searchWorkers int) (form *fprm.Form, count int64, huge, searchCut bool) {
+// result is identical either way). relax scales the built-in OFDD node
+// cap (>1 on the retry rung's second attempt; the budget caps are
+// already scaled by Budget.Relaxed). allocHook, when non-nil, is the
+// chaos allocation probe for this attempt's OFDD manager. The caller
+// wraps this in budget.Guard; a budget trip inside unwinds as
+// panic(*budget.Err).
+func deriveForm(bm *bdd.Manager, f bdd.Ref, opt Options, bud *budget.Budget, searchWorkers int,
+	relax float64, allocHook func(nodes int) *budget.Err) (form *fprm.Form, count int64, huge, searchCut bool) {
 	n := bm.NumVars()
 	om := ofdd.New(n, nil)
 	om.SetBudget(bud)
+	om.SetAllocHook(allocHook)
 	nodeCap := ofddNodeBudget
+	if relax > 1 {
+		nodeCap = int(relax * ofddNodeBudget)
+	}
 	if c := bud.Limits().OFDDNodes; c > 0 && c < nodeCap {
 		nodeCap = c
 	}

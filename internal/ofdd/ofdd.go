@@ -52,13 +52,14 @@ type opKey struct{ f, g Ref }
 // (see package budget). OFDDs can be exponentially larger than the BDD
 // of the same function, so this is the main blowup guard of the flow.
 type Manager struct {
-	numVars  int
-	polarity []bool // true = positive Davio for that variable
-	nodes    []node
-	unique   map[uniqueKey]Ref
-	xorTab   map[opKey]Ref
-	counts   map[Ref]int64 // cube-count memo
-	bud      *budget.Budget
+	numVars   int
+	polarity  []bool // true = positive Davio for that variable
+	nodes     []node
+	unique    map[uniqueKey]Ref
+	xorTab    map[opKey]Ref
+	counts    map[Ref]int64 // cube-count memo
+	bud       *budget.Budget
+	allocHook func(nodes int) *budget.Err
 }
 
 // New returns an OFDD manager over n variables with the given polarity
@@ -94,6 +95,16 @@ func New(n int, polarity []bool) *Manager {
 // exhausted; the trip is recovered by budget.Guard in the caller.
 func (m *Manager) SetBudget(b *budget.Budget) { m.bud = b }
 
+// SetAllocHook installs a fault-injection probe on node allocation (nil
+// removes it). The hook sees the node count the allocation would reach;
+// a non-nil *budget.Err unwinds exactly like a budget trip, recovered
+// by budget.Guard at the phase boundary. Managers are per-output, so a
+// hook's own counter is deterministic regardless of how many workers
+// the derivation fan-out runs with. Used only by the deterministic
+// chaos harness (internal/chaos); the disabled path costs one nil check
+// per fresh node.
+func (m *Manager) SetAllocHook(h func(nodes int) *budget.Err) { m.allocHook = h }
+
 // NumVars returns the number of variables.
 func (m *Manager) NumVars() int { return m.numVars }
 
@@ -127,6 +138,11 @@ func (m *Manager) mk(v int32, lo, hi Ref) Ref {
 		return r
 	}
 	m.bud.CheckOFDDNodes(len(m.nodes) + 1)
+	if m.allocHook != nil {
+		if e := m.allocHook(len(m.nodes) + 1); e != nil {
+			panic(e)
+		}
+	}
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, node{v: v, lo: lo, hi: hi})
 	m.unique[k] = r

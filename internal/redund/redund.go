@@ -65,6 +65,9 @@ type Result struct {
 	Patterns      int // primary-input patterns simulated
 	Candidates    int // reductions proposed by the pattern analysis
 	Reverted      int // candidates rejected by the exact verification
+	// BudgetCut reports the fixpoint loop stopped early on an exhausted
+	// budget; the reductions committed before the cut are kept.
+	BudgetCut bool
 }
 
 func (o Options) maxOC() int {
@@ -238,7 +241,11 @@ func Remove(net *network.Network, opt Options) Result {
 
 	for pass := 0; pass < opt.maxPasses(); pass++ {
 		if opt.Budget.Exceeded() != nil {
-			break // out of budget: keep the reductions committed so far
+			// Out of budget: keep the reductions committed so far, and
+			// report the cut so the caller's degradation trail stays
+			// truthful about the partially-run pass.
+			e.res.BudgetCut = true
+			break
 		}
 		changed := e.xorPass()
 		changed = e.faninPass() || changed

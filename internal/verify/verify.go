@@ -12,14 +12,25 @@ import (
 	"repro/internal/network"
 )
 
+// precheck rejects interface-mismatched networks before any PI- or
+// PO-indexed work: every checker in this package walks PI-sized slices
+// and b.POs by a's indices, so a mismatch must be an error up front,
+// never an index-out-of-range panic mid-check.
+func precheck(a, b *network.Network) error {
+	if a.NumPIs() != b.NumPIs() {
+		return fmt.Errorf("verify: PI counts differ (%d vs %d)", a.NumPIs(), b.NumPIs())
+	}
+	if a.NumPOs() != b.NumPOs() {
+		return fmt.Errorf("verify: PO counts differ (%d vs %d)", a.NumPOs(), b.NumPOs())
+	}
+	return nil
+}
+
 // Equivalent reports whether the two networks compute identical functions
 // output-for-output (matched by position), using canonical BDDs.
 func Equivalent(a, b *network.Network) (bool, error) {
-	if a.NumPIs() != b.NumPIs() {
-		return false, fmt.Errorf("verify: PI counts differ (%d vs %d)", a.NumPIs(), b.NumPIs())
-	}
-	if a.NumPOs() != b.NumPOs() {
-		return false, fmt.Errorf("verify: PO counts differ (%d vs %d)", a.NumPOs(), b.NumPOs())
+	if err := precheck(a, b); err != nil {
+		return false, err
 	}
 	m := bdd.New(a.NumPIs())
 	fa := a.ToBDDs(m)
@@ -33,24 +44,31 @@ func Equivalent(a, b *network.Network) (bool, error) {
 }
 
 // Counterexample returns an input assignment on which the networks
-// disagree, or ok=false if they are equivalent.
-func Counterexample(a, b *network.Network) (cube.BitSet, int, bool) {
+// disagree, or ok=false if they are equivalent. Interface-mismatched
+// networks are an error, not a counterexample.
+func Counterexample(a, b *network.Network) (cube.BitSet, int, bool, error) {
+	if err := precheck(a, b); err != nil {
+		return nil, 0, false, err
+	}
 	m := bdd.New(a.NumPIs())
 	fa := a.ToBDDs(m)
 	fb := b.ToBDDs(m)
 	for i := range fa {
 		diff := m.Xor(fa[i], fb[i])
 		if assign, sat := m.AnySat(diff); sat {
-			return assign, i, true
+			return assign, i, true, nil
 		}
 	}
-	return nil, 0, false
+	return nil, 0, false, nil
 }
 
 // RandomCheck simulates both networks on n random vectors and reports the
 // first mismatching output index, or -1. A quick smoke test for very wide
 // circuits where BDDs might blow up.
-func RandomCheck(a, b *network.Network, n int, seed int64) int {
+func RandomCheck(a, b *network.Network, n int, seed int64) (int, error) {
+	if err := precheck(a, b); err != nil {
+		return -1, err
+	}
 	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < n; i += 64 {
 		words := make([]uint64, a.NumPIs())
@@ -61,16 +79,19 @@ func RandomCheck(a, b *network.Network, n int, seed int64) int {
 		vb := b.Simulate(words)
 		for o := range a.POs {
 			if va[a.POs[o].Gate] != vb[b.POs[o].Gate] {
-				return o
+				return o, nil
 			}
 		}
 	}
-	return -1
+	return -1, nil
 }
 
 // Exhaustive checks all 2^n input patterns (n ≤ 20). It returns an error
 // rather than simulating past the input-count limit.
 func Exhaustive(a, b *network.Network) (bool, error) {
+	if err := precheck(a, b); err != nil {
+		return false, err
+	}
 	n := a.NumPIs()
 	if n > 20 {
 		return false, fmt.Errorf("verify: Exhaustive limited to 20 inputs, got %d", n)

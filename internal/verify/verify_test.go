@@ -31,11 +31,11 @@ func TestEquivalentTrue(t *testing.T) {
 	if ok, err := Exhaustive(a, b); err != nil || !ok {
 		t.Errorf("Exhaustive disagrees: ok=%v err=%v", ok, err)
 	}
-	if RandomCheck(a, b, 256, 1) != -1 {
-		t.Error("RandomCheck disagrees")
+	if o, err := RandomCheck(a, b, 256, 1); err != nil || o != -1 {
+		t.Errorf("RandomCheck disagrees: o=%d err=%v", o, err)
 	}
-	if _, _, found := Counterexample(a, b); found {
-		t.Error("counterexample on equivalent networks")
+	if _, _, found, err := Counterexample(a, b); err != nil || found {
+		t.Errorf("counterexample on equivalent networks (err=%v)", err)
 	}
 }
 
@@ -49,9 +49,9 @@ func TestEquivalentFalse(t *testing.T) {
 	if err != nil || eq {
 		t.Fatalf("eq=%v err=%v, want false", eq, err)
 	}
-	assign, out, found := Counterexample(a, c)
-	if !found || out != 0 {
-		t.Fatal("no counterexample found")
+	assign, out, found, err := Counterexample(a, c)
+	if err != nil || !found || out != 0 {
+		t.Fatalf("no counterexample found (err=%v)", err)
 	}
 	// The counterexample must actually distinguish them: x=y=1.
 	if a.Eval(assign)[0] == c.Eval(assign)[0] {
@@ -64,10 +64,48 @@ func TestEquivalentFalse(t *testing.T) {
 
 func TestShapeMismatch(t *testing.T) {
 	a, _ := twoNets()
+
+	// PI-count mismatch: one input instead of two.
 	d := network.New("d")
 	d.AddPI("x")
 	d.AddPO("o", d.PIs[0])
-	if _, err := Equivalent(a, d); err == nil {
-		t.Error("expected PI-count error")
+
+	// PO-count mismatch: same inputs, an extra output. Walking a's PO
+	// list over e's (or vice versa) would index out of range without
+	// the precondition check.
+	e := network.New("e")
+	ex := e.AddPI("x")
+	ey := e.AddPI("y")
+	e.AddPO("o", e.AddGate(network.Xor, ex, ey))
+	e.AddPO("p", e.AddGate(network.And, ex, ey))
+
+	for _, tc := range []struct {
+		name string
+		bad  *network.Network
+	}{
+		{"pi-mismatch", d},
+		{"po-mismatch", e},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Equivalent(a, tc.bad); err == nil {
+				t.Error("Equivalent: expected count error")
+			}
+			if _, _, _, err := Counterexample(a, tc.bad); err == nil {
+				t.Error("Counterexample: expected count error")
+			}
+			if _, err := RandomCheck(a, tc.bad, 64, 1); err == nil {
+				t.Error("RandomCheck: expected count error")
+			}
+			if _, err := Exhaustive(a, tc.bad); err == nil {
+				t.Error("Exhaustive: expected count error")
+			}
+			// Symmetric order must error too, not panic.
+			if _, err := RandomCheck(tc.bad, a, 64, 1); err == nil {
+				t.Error("RandomCheck reversed: expected count error")
+			}
+			if _, err := Exhaustive(tc.bad, a); err == nil {
+				t.Error("Exhaustive reversed: expected count error")
+			}
+		})
 	}
 }
