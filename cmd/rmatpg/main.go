@@ -8,6 +8,7 @@
 //
 //	rmatpg -circuit z4ml
 //	rmatpg -circuit rd73 -backtracks 50000
+//	rmatpg -circuit mul4 -pprof prof   # prof.cpu.pprof + prof.heap.pprof
 //
 // Exit codes: 0 success, 1 usage error, 2 synthesis failure or interrupt
 // (Ctrl-C/SIGTERM drains synthesis through the degradation ladder, then
@@ -21,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"repro/internal/atpg"
@@ -38,12 +40,35 @@ func main() {
 		maxNodes   = flag.Int("max-nodes", 0, "BDD/OFDD node budget (0 = none)")
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "derivation worker count (per-output FPRM fan-out)")
 		retry      = flag.Float64("retry-factor", core.DefaultOptions().RetryFactor, "budget scale for the ladder's one retry of a transiently tripped output (0 = no retry)")
+		pprofPfx   = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles")
 	)
 	flag.Parse()
 	c, ok := bench.ByName(*circuit)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "rmatpg: unknown circuit %q\n", *circuit)
 		os.Exit(1)
+	}
+	if *pprofPfx != "" {
+		cpu, err := os.Create(*pprofPfx + ".cpu.pprof")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmatpg:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			fmt.Fprintln(os.Stderr, "rmatpg:", err)
+			os.Exit(2)
+		}
+		// ATPG is the expensive stage here, so profiles cover the whole
+		// run; early exits below simply lose them.
+		defer func() {
+			pprof.StopCPUProfile()
+			cpu.Close()
+			if heap, err := os.Create(*pprofPfx + ".heap.pprof"); err == nil {
+				runtime.GC()
+				pprof.WriteHeapProfile(heap)
+				heap.Close()
+			}
+		}()
 	}
 	spec := c.Build()
 

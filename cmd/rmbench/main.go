@@ -10,10 +10,17 @@
 //	rmbench -only z4ml,t481,add6  # a subset
 //	rmbench -arith                # arithmetic circuits only
 //	rmbench -csv table2.csv       # also write CSV
+//	rmbench -json BENCH_abc.json  # machine-readable artifact with per-run
+//	                              # observability reports
+//	rmbench -check baseline.json  # regression gate: run the baseline's
+//	                              # circuits and fail on any literal-count
+//	                              # increase, new degradation, or
+//	                              # verification failure
 //
 // Exit codes: 0 success, 2 I/O failure or interrupt (Ctrl-C/SIGTERM; the
 // running circuit drains through the degradation ladder and every
-// completed row is still printed and flushed to the CSV).
+// completed row is still printed and flushed to the CSV), 3 regression
+// against the -check baseline.
 package main
 
 import (
@@ -32,7 +39,12 @@ import (
 
 // exitFail follows rmsyn's exit-code convention: 2 for run/I/O failure,
 // including an interrupt after the partial table has been flushed.
-const exitFail = 2
+// exitRegress is distinct so CI can tell "the benchmark got worse" from
+// "the benchmark did not run".
+const (
+	exitFail    = 2
+	exitRegress = 3
+)
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "rmbench:", err)
@@ -49,8 +61,21 @@ func main() {
 		maxNodes = flag.Int("max-nodes", 0, "BDD/OFDD node budget per circuit (0 = none)")
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "derivation worker count (per-output FPRM fan-out)")
 		retry    = flag.Float64("retry-factor", core.DefaultOptions().RetryFactor, "budget scale for the ladder's one retry of a transiently tripped output (0 = no retry)")
+		jsonPath = flag.String("json", "", "write the machine-readable benchmark report to this file")
+		check    = flag.String("check", "", "baseline report to gate against (runs the baseline's circuits unless -only/-arith narrows further)")
 	)
 	flag.Parse()
+
+	// Load the baseline first: a bad path should fail before an hour of
+	// benchmarking, and its circuit list defines the default run set.
+	var baseRep *bench.Report
+	if *check != "" {
+		rep, err := bench.ReadReport(*check)
+		if err != nil {
+			fail(err)
+		}
+		baseRep = rep
+	}
 
 	// Ctrl-C / SIGTERM cancels the circuit in flight through the budget
 	// path; the loop below then stops between circuits so every finished
@@ -65,6 +90,7 @@ func main() {
 	opt.Timeout = *timeout
 	opt.MaxBDDNodes = *maxNodes
 	opt.Workers = *jobs
+	opt.Stats = *jsonPath != "" || baseRep != nil
 	if *only != "" {
 		names := map[string]bool{}
 		for _, n := range strings.Split(*only, ",") {
@@ -73,6 +99,12 @@ func main() {
 		opt.Include = func(c bench.Circuit) bool { return names[c.Name] }
 	} else if *arith {
 		opt.Include = func(c bench.Circuit) bool { return c.Arith }
+	} else if baseRep != nil {
+		names := map[string]bool{}
+		for _, c := range baseRep.Circuits {
+			names[c.Name] = true
+		}
+		opt.Include = func(c bench.Circuit) bool { return names[c.Name] }
 	}
 
 	// Open the CSV before the run and stream rows as circuits complete,
@@ -133,6 +165,36 @@ func main() {
 			fail(werr)
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
+	}
+
+	if opt.Stats {
+		rep := bench.BuildReport(rows)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fail(err)
+			}
+			werr := rep.WriteJSON(f)
+			if err := f.Close(); werr == nil {
+				werr = err
+			}
+			if werr != nil {
+				fail(werr)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		if baseRep != nil && !interrupted {
+			regs := bench.Check(rep, baseRep)
+			if len(regs) > 0 {
+				fmt.Fprintf(os.Stderr, "rmbench: %d regression(s) against %s:\n", len(regs), *check)
+				for _, r := range regs {
+					fmt.Fprintln(os.Stderr, "  "+r.String())
+				}
+				os.Exit(exitRegress)
+			}
+			fmt.Printf("regression gate: %d circuits checked against %s, no regressions\n",
+				len(baseRep.Circuits), *check)
+		}
 	}
 
 	if interrupted {

@@ -10,6 +10,8 @@
 //	rmsyn -circuit z4ml -method 1 -polarity greedy -dump out.blif
 //	rmsyn -circuit add6 -baseline       # also run the SOP baseline
 //	rmsyn -circuit mlp4 -timeout 2s     # budgeted run (degrades gracefully)
+//	rmsyn -circuit add6 -stats-json -   # pipeline metrics as JSON on stdout
+//	rmsyn -circuit mul4 -pprof prof     # prof.cpu.pprof + prof.heap.pprof
 //	rmsyn -list                         # list the built-in benchmarks
 //
 // Exit codes: 0 success, 1 usage error, 2 synthesis or budget failure,
@@ -21,15 +23,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sisbase"
 	"repro/internal/sop"
@@ -56,6 +61,8 @@ func main() {
 		maxNodes  = flag.Int("max-nodes", 0, "BDD/OFDD node budget (0 = none)")
 		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "derivation worker count (per-output FPRM fan-out)")
 		retry     = flag.Float64("retry-factor", core.DefaultOptions().RetryFactor, "budget scale for the ladder's one retry of a transiently tripped output (0 = no retry)")
+		statsJSON = flag.String("stats-json", "", "write the pipeline observability report as JSON to this file (\"-\" = stdout)")
+		pprofPfx  = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles")
 	)
 	// Parse manually so malformed flags exit with the documented usage
 	// code (flag.ExitOnError would exit 2, the synthesis-failure code).
@@ -84,6 +91,15 @@ func main() {
 		fail(exitUsage, err)
 	}
 
+	if *pprofPfx != "" {
+		stop, err := startProfiles(*pprofPfx)
+		if err != nil {
+			fail(exitSynth, err)
+		}
+		stopProfiles = stop
+		defer stop()
+	}
+
 	opt := core.DefaultOptions()
 	opt.Method = core.Method(*method)
 	switch *polarity {
@@ -103,6 +119,9 @@ func main() {
 	opt.MaxOFDDNodes = *maxNodes
 	opt.Workers = *jobs
 	opt.RetryFactor = *retry
+	if *statsJSON != "" {
+		opt.Obs = obs.NewCollector()
+	}
 
 	// Ctrl-C / SIGTERM cancels the synthesis context: the flow drains
 	// through the degradation ladder (partial results are still printed
@@ -126,22 +145,33 @@ func main() {
 	if report := res.FallbackReport(); report != "" {
 		fmt.Fprintf(os.Stderr, "rmsyn: budget degradations:\n%s", report)
 	}
-	fmt.Printf("%s: %d PIs, %d POs\n", name, spec.NumPIs(), spec.NumPOs())
+	if *statsJSON != "" {
+		if err := writeStats(res.RunStats(name), *statsJSON); err != nil {
+			fail(exitSynth, err)
+		}
+	}
+	// With the JSON report on stdout, the human-readable report moves to
+	// stderr so a piped consumer sees pure JSON.
+	out := io.Writer(os.Stdout)
+	if *statsJSON == "-" {
+		out = os.Stderr
+	}
+	fmt.Fprintf(out, "%s: %d PIs, %d POs\n", name, spec.NumPIs(), spec.NumPOs())
 	// Workers is 0 when the derivation fan-out never ran (the spec-bdd
 	// budget tripped before it): omit the count rather than print "0".
 	workerNote := ""
 	if res.Workers > 0 {
 		workerNote = fmt.Sprintf(", %d workers", res.Workers)
 	}
-	fmt.Printf("ours:     %4d 2-input gates, %4d lits, %d XOR gates (%.3fs%s)\n",
+	fmt.Fprintf(out, "ours:     %4d 2-input gates, %4d lits, %d XOR gates (%.3fs%s)\n",
 		res.Stats.Gates2, res.Stats.Lits, res.Stats.XORs, res.Elapsed.Seconds(), workerNote)
 	for _, pt := range res.PhaseTimes {
-		fmt.Printf("          phase %-8s %s\n", pt.Name, pt.Elapsed.Round(time.Microsecond))
+		fmt.Fprintf(out, "          phase %-8s %s\n", pt.Name, pt.Elapsed.Round(time.Microsecond))
 	}
-	fmt.Printf("          redundancy removal: %+v\n", res.Redund)
+	fmt.Fprintf(out, "          redundancy removal: %+v\n", res.Redund)
 	if *showForms {
 		for i, n := range res.CubeCounts {
-			fmt.Printf("          output %-12s FPRM cubes: %d\n", spec.POs[i].Name, n)
+			fmt.Fprintf(out, "          output %-12s FPRM cubes: %d\n", spec.POs[i].Name, n)
 		}
 	}
 	if *doVerify {
@@ -152,7 +182,7 @@ func main() {
 		if !eq {
 			fail(exitVerify, fmt.Errorf("verification FAILED: result is not equivalent to the specification"))
 		}
-		fmt.Println("          verified equivalent to the specification")
+		fmt.Fprintln(out, "          verified equivalent to the specification")
 	}
 	// An interrupt drained the ladder above; the stats and degradation
 	// report for the partial result are already printed, so exit under
@@ -167,7 +197,7 @@ func main() {
 			fail(exitSynth, err)
 		}
 		p := power.EstimateMapped(m)
-		fmt.Printf("mapped:   %s power=%.2f\n", m, p.Total)
+		fmt.Fprintf(out, "mapped:   %s power=%.2f\n", m, p.Total)
 	}
 
 	if *baseline {
@@ -178,7 +208,7 @@ func main() {
 		if sres.Stopped != "" {
 			fmt.Fprintf(os.Stderr, "rmsyn: baseline stopped early: %s\n", sres.Stopped)
 		}
-		fmt.Printf("baseline: %4d 2-input gates, %4d lits (%.3fs)\n",
+		fmt.Fprintf(out, "baseline: %4d 2-input gates, %4d lits (%.3fs)\n",
 			sres.Stats.Gates2, sres.Stats.Lits, sres.Elapsed.Seconds())
 		if *doMap {
 			m, err := techmap.Map(sres.Network, techmap.Library())
@@ -186,7 +216,7 @@ func main() {
 				fail(exitSynth, err)
 			}
 			p := power.EstimateMapped(m)
-			fmt.Printf("mapped:   %s power=%.2f\n", m, p.Total)
+			fmt.Fprintf(out, "mapped:   %s power=%.2f\n", m, p.Total)
 		}
 	}
 
@@ -199,7 +229,7 @@ func main() {
 		if err := res.Network.WriteBLIF(f); err != nil {
 			fail(exitSynth, err)
 		}
-		fmt.Printf("wrote %s\n", *dump)
+		fmt.Fprintf(out, "wrote %s\n", *dump)
 	}
 }
 
@@ -285,6 +315,60 @@ func plaToNetwork(p *sop.PLA) *network.Network {
 	return net
 }
 
+// writeStats writes the observability report to path ("-" = stdout).
+func writeStats(rs *core.RunStats, path string) error {
+	if path == "-" {
+		return rs.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rs.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// startProfiles starts a CPU profile at <prefix>.cpu.pprof and returns
+// a stop function that finishes it and snapshots the heap to
+// <prefix>.heap.pprof. The stop function is idempotent: fail() calls it
+// on early exits (os.Exit skips defers) and main defers it too.
+func startProfiles(prefix string) (func(), error) {
+	cpu, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		pprof.StopCPUProfile()
+		cpu.Close()
+		heap, err := os.Create(prefix + ".heap.pprof")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmsyn: heap profile:", err)
+			return
+		}
+		runtime.GC() // fresh statistics, the usual pprof idiom
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			fmt.Fprintln(os.Stderr, "rmsyn: heap profile:", err)
+		}
+		heap.Close()
+	}, nil
+}
+
+// stopProfiles finalizes -pprof output on the fail() path, where
+// os.Exit would skip main's defer.
+var stopProfiles func()
+
 // Exit codes (documented in the package comment and README).
 const (
 	exitUsage  = 1 // bad flags, unknown circuit, unreadable input
@@ -293,6 +377,9 @@ const (
 )
 
 func fail(code int, err error) {
+	if stopProfiles != nil {
+		stopProfiles()
+	}
 	fmt.Fprintln(os.Stderr, "rmsyn:", err)
 	os.Exit(code)
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/cube"
+	"repro/internal/obs"
 	"repro/internal/sop"
 )
 
@@ -53,6 +54,7 @@ type Manager struct {
 	vars      []Ref // cached single-variable BDDs
 	bud       *budget.Budget
 	allocHook func(nodes int) *budget.Err
+	stats     *obs.DD
 }
 
 // New returns a manager over n variables (order = index order).
@@ -84,6 +86,12 @@ func (m *Manager) SetBudget(b *budget.Budget) { m.bud = b }
 // per fresh node.
 func (m *Manager) SetAllocHook(h func(nodes int) *budget.Err) { m.allocHook = h }
 
+// SetStats attaches an observability counter group to the manager (nil
+// detaches). While attached, unique-table and computed-table hits and
+// misses are counted (see package obs); detached, every probe site is a
+// nil check inside obs' nil-receiver methods.
+func (m *Manager) SetStats(s *obs.DD) { m.stats = s }
+
 // NumVars returns the number of variables of the manager.
 func (m *Manager) NumVars() int { return m.numVars }
 
@@ -114,6 +122,7 @@ func (m *Manager) mk(v int32, lo, hi Ref) Ref {
 	}
 	k := uniqueKey{v, lo, hi}
 	if r, ok := m.unique[k]; ok {
+		m.stats.UniqueHit()
 		return r
 	}
 	m.bud.CheckBDDNodes(len(m.nodes) + 1)
@@ -122,6 +131,7 @@ func (m *Manager) mk(v int32, lo, hi Ref) Ref {
 			panic(e)
 		}
 	}
+	m.stats.UniqueMiss(len(m.nodes) + 1)
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, node{v: v, lo: lo, hi: hi})
 	m.unique[k] = r
@@ -143,8 +153,10 @@ func (m *Manager) ITE(f, g, h Ref) Ref {
 	}
 	k := iteKey{f, g, h}
 	if r, ok := m.iteTab[k]; ok {
+		m.stats.OpHit()
 		return r
 	}
+	m.stats.OpMiss()
 	m.bud.Step("bdd")
 	// Split on the top variable of the three arguments.
 	v := m.nodes[f].v

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sisbase"
 	"repro/internal/techmap"
@@ -50,6 +51,10 @@ type Row struct {
 	Workers    int
 	OursPhases string
 
+	// Report is the full observability report of the paper's flow, with
+	// volatile fields stripped; nil unless Options.Stats was set.
+	Report *core.RunStats
+
 	Verified bool
 	Err      string
 }
@@ -88,6 +93,9 @@ type Options struct {
 	// Workers bounds the per-output derivation fan-out of the paper's
 	// flow (see core.Options.Workers); 0 means GOMAXPROCS.
 	Workers int
+	// Stats collects the observability report per circuit (Row.Report),
+	// the payload of the JSON artifact and the regression gate.
+	Stats bool
 }
 
 // DefaultOptions mirrors the paper's experiment.
@@ -117,6 +125,9 @@ func RunCircuit(c Circuit, opt Options) Row {
 	if opt.Workers != 0 {
 		coreOpt.Workers = opt.Workers
 	}
+	if opt.Stats {
+		coreOpt.Obs = obs.NewCollector()
+	}
 
 	sisRes, err := sisbase.Run(ctx, spec, opt.SIS)
 	if err != nil {
@@ -141,6 +152,11 @@ func RunCircuit(c Circuit, opt Options) Row {
 	row.OursTime = oursRes.Elapsed
 	row.Workers = oursRes.Workers
 	row.OursPhases = renderPhases(oursRes.PhaseTimes)
+	if opt.Stats {
+		// Volatile fields are stripped so reports of the same rev diff
+		// cleanly; wall-clock lives in the CSV columns instead.
+		row.Report = oursRes.RunStats(c.Name).StripVolatile()
+	}
 
 	if opt.Verify {
 		for _, res := range []*network.Network{sisRes.Network, oursRes.Network} {

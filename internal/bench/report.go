@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// ReportSchema identifies the benchmark-report JSON layout (the
+// BENCH_<rev>.json CI artifact and the regression-gate baseline).
+const ReportSchema = "rmbench/v1"
+
+// Report is the machine-readable benchmark artifact: one entry per
+// circuit with the comparable cost numbers flattened at the top level
+// (what the regression gate reads) and the full per-run observability
+// report nested under "run" (what a human debugging a regression
+// reads).
+type Report struct {
+	Schema   string          `json:"schema"`
+	Circuits []CircuitReport `json:"circuits"`
+}
+
+// CircuitReport is one circuit's benchmark outcome.
+type CircuitReport struct {
+	Name     string `json:"name"`
+	In       int    `json:"in"`
+	Out      int    `json:"out"`
+	Arith    bool   `json:"arith"`
+	OursLits int    `json:"ours_lits"`      // pre-map literals of the paper's flow
+	MapGates int    `json:"ours_map_gates"` // mapped gate count
+	MapLits  int    `json:"ours_map_lits"`  // mapped literals
+	// Degradations counts the graceful-degradation ladder falls of the
+	// run; the gate fails on any increase over the baseline.
+	Degradations int    `json:"degradations"`
+	Verified     bool   `json:"verified"`
+	Err          string `json:"error,omitempty"`
+	// Run is the full observability report (phase times, cache hit
+	// rates, rule counts, ladder detail); volatile fields are stripped
+	// so reports diff cleanly.
+	Run *core.RunStats `json:"run,omitempty"`
+}
+
+// BuildReport assembles the artifact from finished rows (summary rows
+// excluded by the caller). Rows are sorted by circuit name so the
+// artifact is stable regardless of run order.
+func BuildReport(rows []Row) *Report {
+	rep := &Report{Schema: ReportSchema}
+	for _, r := range rows {
+		cr := CircuitReport{
+			Name:     r.Name,
+			In:       r.In,
+			Out:      r.Out,
+			Arith:    r.Arith,
+			OursLits: r.OursLits,
+			MapGates: r.OursGates,
+			MapLits:  r.OursMapLits,
+			Verified: r.Verified,
+			Err:      r.Err,
+			Run:      r.Report,
+		}
+		if r.Report != nil {
+			cr.Degradations = len(r.Report.Degradations)
+		}
+		rep.Circuits = append(rep.Circuits, cr)
+	}
+	sort.Slice(rep.Circuits, func(a, b int) bool {
+		return rep.Circuits[a].Name < rep.Circuits[b].Name
+	})
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON with a trailing newline.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadReport loads a report from disk, rejecting unknown schemas.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != ReportSchema {
+		return nil, fmt.Errorf("%s: unsupported schema %q (want %q)", path, rep.Schema, ReportSchema)
+	}
+	return &rep, nil
+}
+
+// Regression is one regression-gate finding.
+type Regression struct {
+	Circuit string
+	Kind    string // "literals", "degradations", "verification", "error", "missing"
+	Detail  string
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s: %s", r.Circuit, r.Kind, r.Detail)
+}
+
+// Check compares a current report against a baseline and returns every
+// regression: a literal-count increase, a new degradation-ladder fall,
+// a verification failure, a new error, or a baseline circuit missing
+// from the current run. Improvements (fewer literals, fewer
+// degradations) pass silently — the gate is one-sided by design, so a
+// better result never blocks a merge; refresh the baseline to lock it
+// in.
+func Check(cur, base *Report) []Regression {
+	curBy := make(map[string]CircuitReport, len(cur.Circuits))
+	for _, c := range cur.Circuits {
+		curBy[c.Name] = c
+	}
+	var regs []Regression
+	for _, b := range base.Circuits {
+		c, ok := curBy[b.Name]
+		if !ok {
+			regs = append(regs, Regression{b.Name, "missing", "circuit present in baseline but not in current run"})
+			continue
+		}
+		if c.Err != "" && b.Err == "" {
+			regs = append(regs, Regression{b.Name, "error", c.Err})
+			continue
+		}
+		if !c.Verified && b.Verified {
+			regs = append(regs, Regression{b.Name, "verification", "result no longer verifies against the specification"})
+			continue
+		}
+		if c.OursLits > b.OursLits {
+			regs = append(regs, Regression{b.Name, "literals",
+				fmt.Sprintf("pre-map literals %d > baseline %d", c.OursLits, b.OursLits)})
+		}
+		if c.Degradations > b.Degradations {
+			regs = append(regs, Regression{b.Name, "degradations",
+				fmt.Sprintf("degradation-ladder falls %d > baseline %d", c.Degradations, b.Degradations)})
+		}
+	}
+	return regs
+}

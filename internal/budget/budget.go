@@ -141,9 +141,9 @@ func (b *Budget) SetStepHook(h StepHook) {
 
 // SetPollHook installs a fault-injection poll probe (nil removes it).
 // Like SetStepHook this exists for internal/chaos only: the disabled
-// path costs one nil check per Exceeded call, and the poll counter is
-// not even incremented when no hook is installed. Install before
-// sharing the budget across goroutines.
+// path costs one nil check per Exceeded call on top of the poll
+// counter (which always runs — Polls feeds the run report). Install
+// before sharing the budget across goroutines.
 func (b *Budget) SetPollHook(h PollHook) {
 	if b == nil {
 		return
@@ -165,6 +165,15 @@ func (b *Budget) Steps() int64 {
 		return 0
 	}
 	return b.steps.Load()
+}
+
+// Polls returns the number of graceful Exceeded polls taken so far.
+// Together with Steps it gives the run report its budget totals.
+func (b *Budget) Polls() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.polls.Load()
 }
 
 // trip raises the budget error. The panic is a controlled non-local exit
@@ -328,8 +337,9 @@ func (b *Budget) Exceeded() error {
 	if t := b.tripped.Load(); t != nil {
 		return t
 	}
+	poll := b.polls.Add(1)
 	if b.pollHook != nil {
-		if e := b.pollHook(b.polls.Add(1)); e != nil {
+		if e := b.pollHook(poll); e != nil {
 			b.tripped.CompareAndSwap(nil, e)
 			return b.tripped.Load()
 		}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/factor"
 	"repro/internal/fprm"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/ofdd"
 	"repro/internal/redund"
 	"repro/internal/verify"
@@ -145,6 +146,14 @@ type Options struct {
 	// of the ladder in tests. Nil in production; every probe site then
 	// degenerates to a nil check.
 	Hooks *ProbeHooks
+
+	// Obs, when non-nil, collects pipeline metrics (unique/computed-table
+	// hit rates, polarity-search progress, factor rule applications) into
+	// the collector; Result.ObsStats holds the final snapshot. Nil (the
+	// default) compiles every probe down to a single nil check — the same
+	// zero-overhead contract as Hooks. All counters are schedule-
+	// independent: a run's totals are identical at any Workers setting.
+	Obs *obs.Collector
 }
 
 // ProbeHooks are the fault-injection probe points threaded through one
@@ -271,6 +280,18 @@ type PhaseTime struct {
 	Elapsed time.Duration
 }
 
+// OutputSpan records one output's derivation span inside the parallel
+// fprm phase, restoring the per-worker attribution the aggregate
+// PhaseTimes entry loses. Spans are merged in output order, so the
+// slice's structure (outputs, indices) is identical at any worker
+// count; Worker and Elapsed are the only schedule-dependent fields.
+type OutputSpan struct {
+	Output  string        // PO name
+	Index   int           // output index
+	Worker  int           // worker that ran the derivation
+	Elapsed time.Duration // wall-clock time of this output's derivation
+}
+
 // Result is the outcome of a synthesis run.
 type Result struct {
 	Network *network.Network
@@ -279,6 +300,9 @@ type Result struct {
 	Redund  redund.Result
 	// PhaseTimes records per-phase wall-clock times in execution order.
 	PhaseTimes []PhaseTime
+	// OutputTimes records per-output derivation spans of the fprm phase,
+	// in output order (see OutputSpan).
+	OutputTimes []OutputSpan
 	// Workers is the derivation worker count the fprm phase ran with.
 	Workers int
 	// Fallback reports that the FPRM result was larger than the cleaned
@@ -289,6 +313,13 @@ type Result struct {
 	Degradations []Degradation
 	// CubeCounts holds the exact FPRM cube count per output.
 	CubeCounts []int64
+	// ObsStats is the observability snapshot; nil unless Options.Obs was
+	// set.
+	ObsStats *obs.Stats
+	// BudgetSteps and BudgetPolls are the run budget's counted work steps
+	// and graceful exhaustion polls.
+	BudgetSteps int64
+	BudgetPolls int64
 	// Elapsed is the synthesis wall-clock time.
 	Elapsed time.Duration
 }
@@ -369,6 +400,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 
 	bm := bdd.New(nPI)
 	bm.SetBudget(bud)
+	bm.SetStats(opt.Obs.BDD())
 	if opt.Hooks != nil && opt.Hooks.BDDAlloc != nil {
 		bm.SetAllocHook(opt.Hooks.BDDAlloc)
 	}
@@ -402,7 +434,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 	// vector (registry cube lists live in literal space, which only
 	// matches between identical vectors). This is the cross-output
 	// subfunction reuse the paper obtains with SIS resub.
-	fopt := factor.Options{ApplyRules: opt.Rules, Budget: bud}
+	fopt := factor.Options{ApplyRules: opt.Rules, Budget: bud, Obs: opt.Obs.Factor()}
 	cubeCtxs := make(map[string]*factor.Context)
 	ofddCtxs := make(map[string]*factor.OFDDContext)
 	polKey := func(pol []bool) string {
@@ -428,8 +460,10 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 	// in per-output slots and merge in output order, so the network is
 	// bit-identical for every worker count.
 	enterPhase("fprm")
+	opt.Obs.StartOutputs(len(outs))
 	res.Forms = make([]*fprm.Form, len(outs))
 	res.CubeCounts = make([]int64, len(outs))
+	spans := make([]OutputSpan, len(outs))
 	cone := make([]bool, len(outs))
 	workers := opt.workers()
 	if workers > len(outs) {
@@ -456,12 +490,19 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 		return nil
 	}
 	deriveOne := func(w, oi int) {
+		spanStart := time.Now()
 		// Residual (non-budget) panics cannot cross the goroutine
 		// boundary to Synthesize's recover; capture them here and
 		// re-raise on the main goroutine after the merge barrier.
 		defer func() {
 			if r := recover(); r != nil {
 				residual[oi] = r
+			}
+			spans[oi] = OutputSpan{
+				Output:  spec.POs[oi].Name,
+				Index:   oi,
+				Worker:  w,
+				Elapsed: time.Since(spanStart),
 			}
 		}()
 		if opt.Hooks != nil && opt.Hooks.Worker != nil {
@@ -479,7 +520,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 		var count int64
 		var isHuge, searchCut bool
 		gerr := budget.Guard(func() {
-			form, count, isHuge, searchCut = deriveForm(bm, outs[oi], opt, bud, searchWorkers, 1, ofddHook(oi))
+			form, count, isHuge, searchCut = deriveForm(bm, outs[oi], opt, bud, searchWorkers, 1, ofddHook(oi), opt.Obs.Output(oi))
 		})
 		if gerr != nil || isHuge {
 			reason := "OFDD node cap exceeded"
@@ -494,7 +535,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 				slotDegs[oi] = append(slotDegs[oi], Degradation{oname, "fprm", "retry", reason})
 				rerr := budget.Guard(func() {
 					form, count, isHuge, searchCut = deriveForm(bm, outs[oi], opt,
-						bud.Relaxed(opt.RetryFactor), searchWorkers, opt.RetryFactor, ofddHook(oi))
+						bud.Relaxed(opt.RetryFactor), searchWorkers, opt.RetryFactor, ofddHook(oi), opt.Obs.Output(oi))
 				})
 				if rerr == nil && !isHuge {
 					res.Forms[oi] = form
@@ -551,6 +592,14 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 			panic(residual[oi])
 		}
 		res.Degradations = append(res.Degradations, slotDegs[oi]...)
+	}
+	res.OutputTimes = spans
+	// Record each output's final form size sequentially after the merge
+	// barrier — one deterministic writer per Search group.
+	for oi := range outs {
+		if f := res.Forms[oi]; f != nil && !cone[oi] {
+			opt.Obs.Output(oi).SetBest(f.Cubes.Len(), listLits(f.Cubes))
+		}
 	}
 	markPhase("fprm")
 
@@ -612,6 +661,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 				if !ok {
 					om := ofdd.New(nPI, form.Polarity)
 					om.SetBudget(fbud)
+					om.SetStats(opt.Obs.OFDD())
 					if opt.Hooks != nil && opt.Hooks.FactorOFDDAlloc != nil {
 						om.SetAllocHook(opt.Hooks.FactorOFDDAlloc())
 					}
@@ -768,8 +818,23 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 			degrade("*", "do-no-harm", "swept-spec", "FPRM result larger than cleaned specification")
 		}
 	}
+	res.BudgetSteps = bud.Steps()
+	res.BudgetPolls = bud.Polls()
+	if opt.Obs != nil {
+		snap := opt.Obs.Snapshot()
+		res.ObsStats = &snap
+	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// listLits sums the literal counts of a cube list.
+func listLits(l *cube.List) int {
+	lits := 0
+	for _, c := range l.Cubes {
+		lits += c.Size()
+	}
+	return lits
 }
 
 // effectiveCap folds an optional budget cube cap into a configured limit:
@@ -867,15 +932,18 @@ func retryableTrip(err error, huge bool) bool {
 // result is identical either way). relax scales the built-in OFDD node
 // cap (>1 on the retry rung's second attempt; the budget caps are
 // already scaled by Budget.Relaxed). allocHook, when non-nil, is the
-// chaos allocation probe for this attempt's OFDD manager. The caller
-// wraps this in budget.Guard; a budget trip inside unwinds as
+// chaos allocation probe for this attempt's OFDD manager. s, when
+// non-nil, counts the polarity search's candidates and improvements
+// (and the OFDD manager feeds the collector's shared OFDD group). The
+// caller wraps this in budget.Guard; a budget trip inside unwinds as
 // panic(*budget.Err).
 func deriveForm(bm *bdd.Manager, f bdd.Ref, opt Options, bud *budget.Budget, searchWorkers int,
-	relax float64, allocHook func(nodes int) *budget.Err) (form *fprm.Form, count int64, huge, searchCut bool) {
+	relax float64, allocHook func(nodes int) *budget.Err, s *obs.Search) (form *fprm.Form, count int64, huge, searchCut bool) {
 	n := bm.NumVars()
 	om := ofdd.New(n, nil)
 	om.SetBudget(bud)
 	om.SetAllocHook(allocHook)
+	om.SetStats(opt.Obs.OFDD())
 	nodeCap := ofddNodeBudget
 	if relax > 1 {
 		nodeCap = int(relax * ofddNodeBudget)
@@ -913,12 +981,12 @@ func deriveForm(bm *bdd.Manager, f bdd.Ref, opt Options, bud *budget.Budget, sea
 		complete := true
 		switch opt.Polarity {
 		case PolarityGreedy:
-			form, complete = fprm.SearchGreedyBudget(form, bud)
+			form, complete = fprm.SearchGreedyObs(form, bud, s)
 		case PolarityExhaustive:
 			if n <= opt.exhaustiveLimit() {
-				form, complete = fprm.SearchExhaustiveParallel(form, bud, searchWorkers)
+				form, complete = fprm.SearchExhaustiveParallelObs(form, bud, searchWorkers, s)
 			} else {
-				form, complete = fprm.SearchGreedyBudget(form, bud)
+				form, complete = fprm.SearchGreedyObs(form, bud, s)
 			}
 		}
 		searchCut = !complete

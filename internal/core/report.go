@@ -1,0 +1,163 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// StatsSchema identifies the RunStats JSON layout; bump on any
+// incompatible field change so downstream consumers (the benchmark
+// regression gate, dashboards) can reject reports they do not
+// understand.
+const StatsSchema = "rmstats/v1"
+
+// RunStats is the end-to-end observability report of one synthesis run,
+// shaped for JSON serialization (rmsyn -stats-json, the rmbench
+// artifact). Every field except the ones StripVolatile clears is
+// deterministic for a given circuit and configuration, at any worker
+// count.
+type RunStats struct {
+	Schema  string `json:"schema"`
+	Circuit string `json:"circuit"`
+	PIs     int    `json:"pis"`
+	POs     int    `json:"pos"`
+	Workers int    `json:"workers"`
+
+	// Cost of the synthesized network (see network.CollectStats).
+	Gates2     int `json:"gates2"`
+	Literals   int `json:"literals"`
+	XORs       int `json:"xors"`
+	GatesTotal int `json:"gates_total"`
+
+	CubeCounts   []int64           `json:"cube_counts"`
+	Fallback     bool              `json:"fallback"`
+	Degradations []DegradationStat `json:"degradations"`
+	Redund       RedundStat        `json:"redund"`
+	Budget       BudgetStat        `json:"budget"`
+	Obs          *obs.Stats        `json:"obs,omitempty"`
+
+	Phases    []PhaseStat  `json:"phases"`
+	Outputs   []OutputStat `json:"outputs"`
+	ElapsedNS int64        `json:"elapsed_ns"`
+}
+
+// DegradationStat mirrors Degradation with JSON tags.
+type DegradationStat struct {
+	Output   string `json:"output"`
+	Stage    string `json:"stage"`
+	Fallback string `json:"fallback"`
+	Reason   string `json:"reason"`
+}
+
+// RedundStat mirrors redund.Result with JSON tags.
+type RedundStat struct {
+	XorToOr       int  `json:"xor_to_or"`
+	XorToAnd      int  `json:"xor_to_and"`
+	FaninsRemoved int  `json:"fanins_removed"`
+	ConstFolded   int  `json:"const_folded"`
+	Patterns      int  `json:"patterns"`
+	Candidates    int  `json:"candidates"`
+	Reverted      int  `json:"reverted"`
+	Passes        int  `json:"passes"`
+	BudgetCut     bool `json:"budget_cut"`
+}
+
+// BudgetStat reports the run budget's activity.
+type BudgetStat struct {
+	Steps int64 `json:"steps"`
+	Polls int64 `json:"polls"`
+}
+
+// PhaseStat is one pipeline phase's wall-clock time.
+type PhaseStat struct {
+	Name      string `json:"name"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
+
+// OutputStat is one output's derivation span in the fprm phase.
+type OutputStat struct {
+	Output    string `json:"output"`
+	Index     int    `json:"index"`
+	Worker    int    `json:"worker"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
+
+// RunStats assembles the serializable report for this result. circuit
+// names the run (the network name is used when empty).
+func (r *Result) RunStats(circuit string) *RunStats {
+	if circuit == "" && r.Network != nil {
+		circuit = r.Network.Name
+	}
+	rs := &RunStats{
+		Schema:     StatsSchema,
+		Circuit:    circuit,
+		Workers:    r.Workers,
+		Gates2:     r.Stats.Gates2,
+		Literals:   r.Stats.Lits,
+		XORs:       r.Stats.XORs,
+		GatesTotal: r.Stats.Total,
+		CubeCounts: r.CubeCounts,
+		Fallback:   r.Fallback,
+		Budget:     BudgetStat{Steps: r.BudgetSteps, Polls: r.BudgetPolls},
+		Obs:        r.ObsStats,
+		ElapsedNS:  r.Elapsed.Nanoseconds(),
+	}
+	if r.Network != nil {
+		rs.PIs = r.Network.NumPIs()
+		rs.POs = len(r.Network.POs)
+	}
+	for _, d := range r.Degradations {
+		rs.Degradations = append(rs.Degradations, DegradationStat(d))
+	}
+	rs.Redund = RedundStat{
+		XorToOr:       r.Redund.XorToOr,
+		XorToAnd:      r.Redund.XorToAnd,
+		FaninsRemoved: r.Redund.FaninsRemoved,
+		ConstFolded:   r.Redund.ConstFolded,
+		Patterns:      r.Redund.Patterns,
+		Candidates:    r.Redund.Candidates,
+		Reverted:      r.Redund.Reverted,
+		Passes:        r.Redund.Passes,
+		BudgetCut:     r.Redund.BudgetCut,
+	}
+	for _, p := range r.PhaseTimes {
+		rs.Phases = append(rs.Phases, PhaseStat{Name: p.Name, ElapsedNS: p.Elapsed.Nanoseconds()})
+	}
+	for _, s := range r.OutputTimes {
+		rs.Outputs = append(rs.Outputs, OutputStat{
+			Output: s.Output, Index: s.Index, Worker: s.Worker, ElapsedNS: s.Elapsed.Nanoseconds(),
+		})
+	}
+	return rs
+}
+
+// StripVolatile clears the fields that legitimately differ between runs
+// of the same circuit and configuration — wall-clock durations and
+// worker scheduling (worker ids, worker count). What remains is
+// bit-identical across runs at any -j, which the determinism tests and
+// the regression gate rely on.
+func (rs *RunStats) StripVolatile() *RunStats {
+	rs.Workers = 0
+	rs.ElapsedNS = 0
+	for i := range rs.Phases {
+		rs.Phases[i].ElapsedNS = 0
+	}
+	for i := range rs.Outputs {
+		rs.Outputs[i].Worker = 0
+		rs.Outputs[i].ElapsedNS = 0
+	}
+	return rs
+}
+
+// WriteJSON writes the report as indented JSON with a trailing newline.
+func (rs *RunStats) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

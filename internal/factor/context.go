@@ -41,7 +41,7 @@ func NewContext(opt Options) *Context {
 func (cx *Context) Factor(l *cube.List) *Expr {
 	e := cx.factorSub(l)
 	if cx.opt.ApplyRules {
-		e = ApplyRules(e, cx.opt.maxPasses())
+		e = ApplyRulesObs(e, cx.opt.maxPasses(), cx.opt.Obs)
 	}
 	return e
 }
@@ -77,7 +77,7 @@ func (cx *Context) factorGroup(l *cube.List) *Expr {
 	cx.opt.Budget.Step("factor")
 	e := cx.factorGroupUncached(l)
 	if cx.opt.ApplyRules {
-		e = ApplyRules(e, cx.opt.maxPasses())
+		e = ApplyRulesObs(e, cx.opt.maxPasses(), cx.opt.Obs)
 	}
 	cx.memo[key] = e
 	if len(cx.registry) < registryCap && l.Len() >= 2 && l.Len() <= maxDivisorCubes {
@@ -137,6 +137,7 @@ func (cx *Context) factorGroupUncached(l *cube.List) *Expr {
 		}
 	}
 	if bestExpr != nil && bestCover >= 4 {
+		cx.opt.Obs.DivisorHit()
 		if len(cx.registry) < registryCap {
 			cx.registry = append(cx.registry, registryEntry{list: bestList.Clone(), expr: bestExpr})
 		}

@@ -3,6 +3,7 @@ package factor
 import (
 	"repro/internal/budget"
 	"repro/internal/cube"
+	"repro/internal/obs"
 	"repro/internal/ofdd"
 )
 
@@ -19,6 +20,10 @@ type Options struct {
 	// unwinds with panic(*budget.Err) to be recovered by budget.Guard in
 	// the caller (see package budget).
 	Budget *budget.Budget
+	// Obs, when non-nil, counts rule applications (reductions (a)-(c),
+	// factorizations (d)/(e), rewrite passes, divisor-registry hits).
+	// Nil disables collection at the cost of a nil check per probe.
+	Obs *obs.Factor
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -129,7 +134,7 @@ func (cx *OFDDContext) Factor(f ofdd.Ref) *Expr {
 	}
 	e := rec(f)
 	if cx.opt.ApplyRules {
-		e = ApplyRules(e, cx.opt.maxPasses())
+		e = ApplyRulesObs(e, cx.opt.maxPasses(), cx.opt.Obs)
 	}
 	return e
 }

@@ -98,7 +98,7 @@ func TestPaperReductionSequence(t *testing.T) {
 
 func TestRuleEFactorsCommonCube(t *testing.T) {
 	// AB + AC + D → A(B+C) + D.
-	e := factorOr([]*Expr{AndN(Lit(0), Lit(1)), AndN(Lit(0), Lit(2)), Lit(3)})
+	e := factorOr([]*Expr{AndN(Lit(0), Lit(1)), AndN(Lit(0), Lit(2)), Lit(3)}, nil)
 	want := OrN(AndN(Lit(0), OrN(Lit(1), Lit(2))), Lit(3))
 	if e.Key() != want.Key() {
 		t.Errorf("rule (e): got %s, want %s", e, want)

@@ -1,12 +1,21 @@
 package factor
 
+import "repro/internal/obs"
+
 // ApplyRules rewrites the expression with the paper's Reduction rules
 // (a)-(c) at XOR nodes and the OR-factoring rule (e), bottom-up, repeating
 // whole passes until a fixpoint or maxPasses.
 func ApplyRules(e *Expr, maxPasses int) *Expr {
+	return ApplyRulesObs(e, maxPasses, nil)
+}
+
+// ApplyRulesObs is ApplyRules with rule-application counting. fo may be
+// nil, which disables collection.
+func ApplyRulesObs(e *Expr, maxPasses int, fo *obs.Factor) *Expr {
 	for pass := 0; pass < maxPasses; pass++ {
+		fo.Pass()
 		memo := make(map[string]*Expr)
-		ne := rewrite(e, memo)
+		ne := rewrite(e, memo, fo)
 		if ne.key == e.key {
 			return ne
 		}
@@ -15,7 +24,7 @@ func ApplyRules(e *Expr, maxPasses int) *Expr {
 	return e
 }
 
-func rewrite(e *Expr, memo map[string]*Expr) *Expr {
+func rewrite(e *Expr, memo map[string]*Expr, fo *obs.Factor) *Expr {
 	if r, ok := memo[e.key]; ok {
 		return r
 	}
@@ -24,7 +33,7 @@ func rewrite(e *Expr, memo map[string]*Expr) *Expr {
 	case OpConst0, OpConst1, OpLit:
 		out = e
 	case OpNot:
-		inner := rewrite(e.Kids[0], memo)
+		inner := rewrite(e.Kids[0], memo, fo)
 		if inner.Op == OpAnd {
 			// De Morgan: a negated product reads (and costs) the same as
 			// an OR of complements, the shape rule (c) produces.
@@ -37,23 +46,23 @@ func rewrite(e *Expr, memo map[string]*Expr) *Expr {
 			out = Not(inner)
 		}
 	case OpAnd:
-		kids := rewriteKids(e.Kids, memo)
+		kids := rewriteKids(e.Kids, memo, fo)
 		out = AndN(kids...)
 	case OpOr:
-		kids := rewriteKids(e.Kids, memo)
-		out = factorOr(kids)
+		kids := rewriteKids(e.Kids, memo, fo)
+		out = factorOr(kids, fo)
 	case OpXor:
-		kids := rewriteKids(e.Kids, memo)
-		out = reduceXor(kids)
+		kids := rewriteKids(e.Kids, memo, fo)
+		out = reduceXor(kids, fo)
 	}
 	memo[e.key] = out
 	return out
 }
 
-func rewriteKids(kids []*Expr, memo map[string]*Expr) []*Expr {
+func rewriteKids(kids []*Expr, memo map[string]*Expr, fo *obs.Factor) []*Expr {
 	out := make([]*Expr, len(kids))
 	for i, k := range kids {
-		out[i] = rewrite(k, memo)
+		out[i] = rewrite(k, memo, fo)
 	}
 	return out
 }
@@ -106,7 +115,7 @@ func removeFactors(b, a []*Expr) *Expr {
 // (c) are applied in generalized form: because XorN flattens nested XORs,
 // a divisor that is itself an XOR appears spread across the operand list,
 // and the rules must recognize it there.
-func reduceXor(kids []*Expr) *Expr {
+func reduceXor(kids []*Expr, fo *obs.Factor) *Expr {
 	// Reconstruct through XorN first so flattening/cancellation happen.
 	x := XorN(kids...)
 	neg := false
@@ -137,6 +146,7 @@ func reduceXor(kids []*Expr) *Expr {
 					or := OrN(kids[i], kids[j])
 					kids = removeIdx(kids, i, j, k)
 					kids = append(kids, or)
+					fo.RuleB()
 					changed = true
 					break ruleB
 				}
@@ -158,6 +168,7 @@ func reduceXor(kids []*Expr) *Expr {
 					b := removeFactors(fj, fi)
 					kids = removeIdx(kids, i, j)
 					kids = append(kids, AndN(kids2expr(fi), Not(b)))
+					fo.RuleA()
 					changed = true
 					break ruleA
 				}
@@ -192,6 +203,7 @@ func reduceXor(kids []*Expr) *Expr {
 				idx = append(idx, j)
 				kids = removeIdx(kids, idx...)
 				kids = append(kids, AndN(f, Not(b)))
+				fo.RuleA()
 				changed = true
 				break ruleASpread
 			}
@@ -212,12 +224,13 @@ func reduceXor(kids []*Expr) *Expr {
 				a := removeFactors(andFactors(kids[j]), []*Expr{f})
 				kids = removeIdx(kids, i, j)
 				kids = append(kids, OrN(a, comp))
+				fo.RuleC()
 				changed = true
 				break ruleC
 			}
 		}
 	}
-	out := factorXorKids(kids)
+	out := factorXorKids(kids, fo)
 	if neg {
 		// Prefer the OR form of a negated product (De Morgan), matching
 		// the shapes rule (c) produces in the paper.
@@ -236,7 +249,7 @@ func reduceXor(kids []*Expr) *Expr {
 // factorXorKids applies rule (d) at the expression level: extract the most
 // frequent common AND-factor among the XOR operands, recursively, so that
 // AB ⊕ AC becomes A(B ⊕ C) even when A is a complex shared subexpression.
-func factorXorKids(kids []*Expr) *Expr {
+func factorXorKids(kids []*Expr, fo *obs.Factor) *Expr {
 	x := XorN(kids...)
 	neg := false
 	if x.Op == OpNot {
@@ -267,6 +280,7 @@ func factorXorKids(kids []*Expr) *Expr {
 	if bestKey == "" || bestC < 2 {
 		out = x
 	} else {
+		fo.RuleD()
 		f := repr[bestKey]
 		var with, without []*Expr
 		for _, k := range kids {
@@ -277,11 +291,11 @@ func factorXorKids(kids []*Expr) *Expr {
 				without = append(without, k)
 			}
 		}
-		grouped := AndN(f, factorXorKids(with))
+		grouped := AndN(f, factorXorKids(with, fo))
 		if len(without) == 0 {
 			out = grouped
 		} else {
-			out = XorN(grouped, factorXorKids(without))
+			out = XorN(grouped, factorXorKids(without, fo))
 		}
 	}
 	if neg {
@@ -319,7 +333,7 @@ func removeIdx(kids []*Expr, idx ...int) []*Expr {
 // factorOr applies rule (e): extract the most frequent common factor among
 // the OR operands, recursively. Operands sharing the factor are divided by
 // it and grouped as factor·(OR of quotients).
-func factorOr(kids []*Expr) *Expr {
+func factorOr(kids []*Expr, fo *obs.Factor) *Expr {
 	o := OrN(kids...)
 	if o.Op != OpOr {
 		return o
@@ -343,6 +357,7 @@ func factorOr(kids []*Expr) *Expr {
 	if bestKey == "" || bestC < 2 {
 		return o
 	}
+	fo.RuleE()
 	f := repr[bestKey]
 	var with, without []*Expr
 	for _, k := range kids {
@@ -353,10 +368,10 @@ func factorOr(kids []*Expr) *Expr {
 			without = append(without, k)
 		}
 	}
-	grouped := AndN(f, factorOr(with))
+	grouped := AndN(f, factorOr(with, fo))
 	if len(without) == 0 {
 		return grouped
 	}
-	rest := factorOr(without)
+	rest := factorOr(without, fo)
 	return OrN(grouped, rest)
 }

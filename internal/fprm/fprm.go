@@ -18,6 +18,7 @@ import (
 	"repro/internal/bdd"
 	"repro/internal/budget"
 	"repro/internal/cube"
+	"repro/internal/obs"
 	"repro/internal/ofdd"
 )
 
@@ -246,12 +247,21 @@ func SearchExhaustive(start *Form) *Form {
 // correctness. For n > MaxExhaustiveVars the walk is refused outright:
 // it returns (start, false) instead of overflowing 1<<n.
 func SearchExhaustiveBudget(start *Form, b *budget.Budget) (best *Form, complete bool) {
+	return SearchExhaustiveObs(start, b, nil)
+}
+
+// SearchExhaustiveObs is SearchExhaustiveBudget with polarity-search
+// progress reported to s (nil disables collection): every Gray index
+// evaluated counts a candidate — including the start form — and every
+// accepted strict improvement is counted.
+func SearchExhaustiveObs(start *Form, b *budget.Budget, s *obs.Search) (best *Form, complete bool) {
 	n := start.NumVars
 	if n > MaxExhaustiveVars {
 		return start.Clone(), false
 	}
 	cur := start.Clone()
 	best = start.Clone()
+	s.Candidate()
 	total := 1 << uint(n)
 	for g := 1; g < total; g++ {
 		if g&63 == 0 && b.Exceeded() != nil {
@@ -260,9 +270,11 @@ func SearchExhaustiveBudget(start *Form, b *budget.Budget) (best *Form, complete
 		// Gray code: flip the variable at the lowest set bit of g.
 		v := bits.TrailingZeros(uint(g))
 		cur.FlipPolarity(v)
+		s.Candidate()
 		if cur.Cubes.Len() < best.Cubes.Len() ||
 			(cur.Cubes.Len() == best.Cubes.Len() && cur.Cubes.Literals() < best.Cubes.Literals()) {
 			best = cur.Clone()
+			s.Improved()
 		}
 	}
 	return best, true
@@ -279,6 +291,16 @@ func SearchExhaustiveBudget(start *Form, b *budget.Budget) (best *Form, complete
 // count. Budget exhaustion stops each shard independently; complete
 // reports whether every shard finished its range.
 func SearchExhaustiveParallel(start *Form, b *budget.Budget, workers int) (best *Form, complete bool) {
+	return SearchExhaustiveParallelObs(start, b, workers, nil)
+}
+
+// SearchExhaustiveParallelObs is SearchExhaustiveParallel with progress
+// reported to s (nil disables collection). Candidates are counted per
+// shard and sum to the same total for any worker count (every Gray
+// index is evaluated exactly once); improvements are reported only by
+// the sequential walk, because a shard's local improvement count would
+// depend on the shard boundaries.
+func SearchExhaustiveParallelObs(start *Form, b *budget.Budget, workers int, s *obs.Search) (best *Form, complete bool) {
 	n := start.NumVars
 	if n > MaxExhaustiveVars {
 		return start.Clone(), false
@@ -289,7 +311,7 @@ func SearchExhaustiveParallel(start *Form, b *budget.Budget, workers int) (best 
 		workers = total / 64
 	}
 	if workers <= 1 {
-		return SearchExhaustiveBudget(start, b)
+		return SearchExhaustiveObs(start, b, s)
 	}
 	type shardResult struct {
 		best     *Form
@@ -311,7 +333,7 @@ func SearchExhaustiveParallel(start *Form, b *budget.Budget, workers int) (best 
 		wg.Add(1)
 		go func(k, lo, hi int) {
 			defer wg.Done()
-			f, idx, done := searchShard(start, b, lo, hi)
+			f, idx, done := searchShard(start, b, lo, hi, s)
 			results[k] = shardResult{best: f, idx: idx, complete: done}
 		}(k, lo, hi)
 	}
@@ -343,7 +365,7 @@ func SearchExhaustiveParallel(start *Form, b *budget.Budget, workers int) (best 
 // is built by flipping the variables set in gray(lo); FlipPolarity keeps
 // the cube list canonical, so the form at a given index is representa-
 // tion-identical no matter the flip path that reached it.
-func searchShard(start *Form, b *budget.Budget, lo, hi int) (best *Form, idx int, complete bool) {
+func searchShard(start *Form, b *budget.Budget, lo, hi int, s *obs.Search) (best *Form, idx int, complete bool) {
 	idx = lo
 	if b.Exceeded() != nil {
 		return nil, idx, false
@@ -356,11 +378,13 @@ func searchShard(start *Form, b *budget.Budget, lo, hi int) (best *Form, idx int
 		}
 	}
 	best = cur.Clone()
+	s.Candidate()
 	for g := lo + 1; g < hi; g++ {
 		if g&63 == 0 && b.Exceeded() != nil {
 			return best, idx, false
 		}
 		cur.FlipPolarity(bits.TrailingZeros(uint(g)))
+		s.Candidate()
 		if cur.Cubes.Len() < best.Cubes.Len() ||
 			(cur.Cubes.Len() == best.Cubes.Len() && cur.Cubes.Literals() < best.Cubes.Literals()) {
 			best = cur.Clone()
@@ -387,6 +411,14 @@ func SearchGreedy(start *Form) *Form {
 // restore is exact — which makes a descent round O(n) flips instead of
 // the O(n·m) full-form clones a trial-copy scheme would cost.
 func SearchGreedyBudget(start *Form, b *budget.Budget) (best *Form, complete bool) {
+	return SearchGreedyObs(start, b, nil)
+}
+
+// SearchGreedyObs is SearchGreedyBudget with polarity-search progress
+// reported to s (nil disables collection): every trial flip counts a
+// candidate, every accepted descent step an improvement. The descent is
+// sequential, so the counts are deterministic at any worker count.
+func SearchGreedyObs(start *Form, b *budget.Budget, s *obs.Search) (best *Form, complete bool) {
 	cur := start.Clone()
 	for {
 		bestV := -1
@@ -397,6 +429,7 @@ func SearchGreedyBudget(start *Form, b *budget.Budget) (best *Form, complete boo
 				return cur, false
 			}
 			cur.FlipPolarity(v)
+			s.Candidate()
 			if cur.Cubes.Len() < bestCubes ||
 				(cur.Cubes.Len() == bestCubes && cur.Cubes.Literals() < bestLits) {
 				bestV = v
@@ -409,6 +442,7 @@ func SearchGreedyBudget(start *Form, b *budget.Budget) (best *Form, complete boo
 			return cur, true
 		}
 		cur.FlipPolarity(bestV)
+		s.Improved()
 	}
 }
 

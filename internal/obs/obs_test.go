@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// Every method must be a no-op on a nil receiver — the disabled path of
+// every probe site in the pipeline.
+func TestNilReceiversAreSafe(t *testing.T) {
+	var d *DD
+	d.UniqueHit()
+	d.UniqueMiss(8)
+	d.OpHit()
+	d.OpMiss()
+
+	var f *Factor
+	f.RuleA()
+	f.RuleB()
+	f.RuleC()
+	f.RuleD()
+	f.RuleE()
+	f.Pass()
+	f.DivisorHit()
+
+	var s *Search
+	s.Candidate()
+	s.Improved()
+	s.SetBest(3, 7)
+
+	var c *Collector
+	if c.BDD() != nil || c.OFDD() != nil || c.Factor() != nil {
+		t.Error("nil collector must return nil groups")
+	}
+	c.StartOutputs(4)
+	if c.Output(0) != nil {
+		t.Error("nil collector must return nil search groups")
+	}
+	got := c.Snapshot()
+	if got.BDD != (DDStats{}) || got.OFDD != (DDStats{}) ||
+		got.Factor != (FactorStats{}) || got.Outputs != nil {
+		t.Errorf("nil collector snapshot = %+v, want zero", got)
+	}
+}
+
+// The disabled path must not allocate: Options.Obs == nil costs one nil
+// check per probe, nothing more. This is the zero-overhead contract the
+// instrumented hot loops (bdd.mk, ofdd.mk, ITE, the Gray-code walk)
+// rely on.
+func TestDisabledCollectorZeroAllocs(t *testing.T) {
+	var d *DD
+	var f *Factor
+	var s *Search
+	var c *Collector
+	allocs := testing.AllocsPerRun(1000, func() {
+		d.UniqueHit()
+		d.UniqueMiss(16)
+		d.OpHit()
+		d.OpMiss()
+		f.RuleA()
+		f.RuleD()
+		f.Pass()
+		s.Candidate()
+		s.Improved()
+		s.SetBest(1, 2)
+		c.Output(3).Candidate()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled probes allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// The enabled counters must not allocate either — they sit inside mk().
+func TestEnabledCountersZeroAllocs(t *testing.T) {
+	c := NewCollector()
+	c.StartOutputs(2)
+	d := c.BDD()
+	allocs := testing.AllocsPerRun(1000, func() {
+		d.UniqueHit()
+		d.UniqueMiss(16)
+		d.OpHit()
+		d.OpMiss()
+		c.Factor().RuleB()
+		c.Output(1).Candidate()
+	})
+	if allocs != 0 {
+		t.Errorf("enabled probes allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// UniqueMiss counts a rehash exactly when the node count crosses a
+// power of two, and tracks the peak monotonically.
+func TestDDRehashAndPeak(t *testing.T) {
+	var d DD
+	for n := 1; n <= 9; n++ {
+		d.UniqueMiss(n)
+	}
+	s := d.Snapshot()
+	if s.UniqueMisses != 9 {
+		t.Errorf("unique misses = %d, want 9", s.UniqueMisses)
+	}
+	if s.Rehashes != 4 { // 1, 2, 4, 8
+		t.Errorf("rehashes = %d, want 4", s.Rehashes)
+	}
+	if s.PeakNodes != 9 {
+		t.Errorf("peak = %d, want 9", s.PeakNodes)
+	}
+	d.UniqueMiss(5) // a second, smaller manager must not lower the peak
+	if got := d.Snapshot().PeakNodes; got != 9 {
+		t.Errorf("peak after smaller report = %d, want 9", got)
+	}
+}
+
+func TestSnapshotRates(t *testing.T) {
+	var d DD
+	d.UniqueHit()
+	d.UniqueMiss(3)
+	d.UniqueMiss(5)
+	d.OpHit()
+	d.OpHit()
+	d.OpHit()
+	d.OpMiss()
+	s := d.Snapshot()
+	if want := 1.0 / 3.0; s.UniqueHitRate != want {
+		t.Errorf("unique hit rate = %v, want %v", s.UniqueHitRate, want)
+	}
+	if want := 3.0 / 4.0; s.OpHitRate != want {
+		t.Errorf("op hit rate = %v, want %v", s.OpHitRate, want)
+	}
+	if idle := (&DD{}).Snapshot(); idle.UniqueHitRate != 0 || idle.OpHitRate != 0 {
+		t.Errorf("idle rates = %v/%v, want 0/0", idle.UniqueHitRate, idle.OpHitRate)
+	}
+}
+
+func TestCollectorOutputs(t *testing.T) {
+	c := NewCollector()
+	if c.Output(0) != nil {
+		t.Error("Output before StartOutputs must be nil")
+	}
+	c.StartOutputs(3)
+	if c.Output(-1) != nil || c.Output(3) != nil {
+		t.Error("out-of-range Output must be nil")
+	}
+	c.Output(1).Candidate()
+	c.Output(1).Candidate()
+	c.Output(1).Improved()
+	c.Output(2).SetBest(4, 11)
+	s := c.Snapshot()
+	if len(s.Outputs) != 3 {
+		t.Fatalf("snapshot outputs = %d, want 3", len(s.Outputs))
+	}
+	if s.Outputs[1].Candidates != 2 || s.Outputs[1].Improvements != 1 {
+		t.Errorf("output 1 = %+v", s.Outputs[1])
+	}
+	if s.Outputs[2].BestCubes != 4 || s.Outputs[2].BestLits != 11 {
+		t.Errorf("output 2 = %+v", s.Outputs[2])
+	}
+	if s.Outputs[0] != (SearchStats{}) {
+		t.Errorf("untouched output 0 = %+v, want zero", s.Outputs[0])
+	}
+}
+
+// Concurrent feeding must produce exact totals (the derivation worker
+// pool feeds the shared DD groups from several goroutines).
+func TestConcurrentCountersSumExactly(t *testing.T) {
+	var d DD
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				d.UniqueMiss(w*per + i + 1)
+				d.OpHit()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := d.Snapshot()
+	if s.UniqueMisses != workers*per || s.OpHits != workers*per {
+		t.Errorf("totals = %d/%d, want %d", s.UniqueMisses, s.OpHits, workers*per)
+	}
+	if s.PeakNodes != workers*per {
+		t.Errorf("peak = %d, want %d", s.PeakNodes, workers*per)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/bdd"
 	"repro/internal/budget"
 	"repro/internal/cube"
+	"repro/internal/obs"
 )
 
 // Ref identifies an OFDD node within its manager.
@@ -60,6 +61,7 @@ type Manager struct {
 	counts    map[Ref]int64 // cube-count memo
 	bud       *budget.Budget
 	allocHook func(nodes int) *budget.Err
+	stats     *obs.DD
 }
 
 // New returns an OFDD manager over n variables with the given polarity
@@ -105,6 +107,12 @@ func (m *Manager) SetBudget(b *budget.Budget) { m.bud = b }
 // per fresh node.
 func (m *Manager) SetAllocHook(h func(nodes int) *budget.Err) { m.allocHook = h }
 
+// SetStats attaches an observability counter group (nil detaches).
+// Managers are per-output, so each manager's counts are deterministic;
+// all managers of a run share one group, whose totals are therefore
+// deterministic at any worker count (see package obs).
+func (m *Manager) SetStats(s *obs.DD) { m.stats = s }
+
 // NumVars returns the number of variables.
 func (m *Manager) NumVars() int { return m.numVars }
 
@@ -135,6 +143,7 @@ func (m *Manager) mk(v int32, lo, hi Ref) Ref {
 	}
 	k := uniqueKey{v, lo, hi}
 	if r, ok := m.unique[k]; ok {
+		m.stats.UniqueHit()
 		return r
 	}
 	m.bud.CheckOFDDNodes(len(m.nodes) + 1)
@@ -143,6 +152,7 @@ func (m *Manager) mk(v int32, lo, hi Ref) Ref {
 			panic(e)
 		}
 	}
+	m.stats.UniqueMiss(len(m.nodes) + 1)
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, node{v: v, lo: lo, hi: hi})
 	m.unique[k] = r
@@ -168,8 +178,10 @@ func (m *Manager) Xor(f, g Ref) Ref {
 	}
 	k := opKey{f, g}
 	if r, ok := m.xorTab[k]; ok {
+		m.stats.OpHit()
 		return r
 	}
+	m.stats.OpMiss()
 	m.bud.Step("ofdd")
 	v := m.nodes[f].v
 	if m.nodes[g].v < v {

@@ -65,6 +65,7 @@ type Result struct {
 	Patterns      int // primary-input patterns simulated
 	Candidates    int // reductions proposed by the pattern analysis
 	Reverted      int // candidates rejected by the exact verification
+	Passes        int // fixpoint iterations executed (including the final no-change pass)
 	// BudgetCut reports the fixpoint loop stopped early on an exhausted
 	// budget; the reductions committed before the cut are kept.
 	BudgetCut bool
@@ -247,6 +248,7 @@ func Remove(net *network.Network, opt Options) Result {
 			e.res.BudgetCut = true
 			break
 		}
+		e.res.Passes++
 		changed := e.xorPass()
 		changed = e.faninPass() || changed
 		if !changed {
