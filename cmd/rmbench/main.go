@@ -19,8 +19,9 @@
 //
 // Exit codes: 0 success, 2 I/O failure or interrupt (Ctrl-C/SIGTERM; the
 // running circuit drains through the degradation ladder and every
-// completed row is still printed and flushed to the CSV), 3 regression
-// against the -check baseline.
+// completed row is still printed and flushed to the CSV and JSON
+// artifacts — both stream per circuit, so even a hard kill leaves valid
+// partial files), 3 regression against the -check baseline.
 package main
 
 import (
@@ -121,6 +122,31 @@ func main() {
 		}
 	}
 
+	// The JSON artifact streams the same way the CSV does: the file is
+	// created before the run and rewritten in place after every circuit,
+	// so a Ctrl-C (or a kill -9) mid-table leaves a valid partial
+	// rmbench/v1 report of everything that finished, not an empty file.
+	var jsonFile *os.File
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		jsonFile = f
+	}
+	flushJSON := func(rows []bench.Row) error {
+		if jsonFile == nil {
+			return nil
+		}
+		if _, err := jsonFile.Seek(0, 0); err != nil {
+			return err
+		}
+		if err := jsonFile.Truncate(0); err != nil {
+			return err
+		}
+		return bench.BuildReport(rows).WriteJSON(jsonFile)
+	}
+
 	fmt.Fprintf(os.Stderr, "derivation workers: %d\n", *jobs)
 	var rows []bench.Row
 	interrupted := false
@@ -142,6 +168,9 @@ func main() {
 			if err := bench.WriteCSVRow(csvFile, r); err != nil {
 				fail(err)
 			}
+		}
+		if err := flushJSON(rows); err != nil {
+			fail(err)
 		}
 	}
 	interrupted = interrupted || sigCtx.Err() != nil
@@ -169,13 +198,11 @@ func main() {
 
 	if opt.Stats {
 		rep := bench.BuildReport(rows)
-		if *jsonPath != "" {
-			f, err := os.Create(*jsonPath)
-			if err != nil {
-				fail(err)
-			}
-			werr := rep.WriteJSON(f)
-			if err := f.Close(); werr == nil {
+		if jsonFile != nil {
+			// Final flush + close: the per-circuit streaming already wrote
+			// this content, but the close error still matters (full disk).
+			werr := flushJSON(rows)
+			if err := jsonFile.Close(); werr == nil {
 				werr = err
 			}
 			if werr != nil {

@@ -262,57 +262,9 @@ func loadSpec(circuit, blifIn, plaIn string) (*network.Network, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		return plaToNetwork(p), plaIn, nil
+		return network.FromPLA(p), plaIn, nil
 	}
 	return nil, "", fmt.Errorf("specify -circuit, -blif or -pla (or -list)")
-}
-
-// plaToNetwork builds the two-level OR-of-ANDs network of a PLA.
-func plaToNetwork(p *sop.PLA) *network.Network {
-	net := network.New("pla")
-	pis := make([]int, p.Inputs)
-	for i := range pis {
-		pis[i] = net.AddPI(p.InNames[i])
-	}
-	notCache := map[int]int{}
-	lit := func(v int, phase bool) int {
-		if phase {
-			return pis[v]
-		}
-		if g, ok := notCache[v]; ok {
-			return g
-		}
-		g := net.AddGate(network.Not, pis[v])
-		notCache[v] = g
-		return g
-	}
-	for o, c := range p.Covers {
-		var terms []int
-		for _, t := range c.Terms {
-			var lits []int
-			t.Pos.ForEach(func(v int) { lits = append(lits, lit(v, true)) })
-			t.Neg.ForEach(func(v int) { lits = append(lits, lit(v, false)) })
-			switch len(lits) {
-			case 0:
-				terms = append(terms, net.AddGate(network.Const1))
-			case 1:
-				terms = append(terms, lits[0])
-			default:
-				terms = append(terms, net.AddGate(network.And, lits...))
-			}
-		}
-		var out int
-		switch len(terms) {
-		case 0:
-			out = net.AddGate(network.Const0)
-		case 1:
-			out = terms[0]
-		default:
-			out = net.AddGate(network.Or, terms...)
-		}
-		net.AddPO(p.OutName[o], out)
-	}
-	return net
 }
 
 // writeStats writes the observability report to path ("-" = stdout).

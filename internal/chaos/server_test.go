@@ -1,0 +1,24 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// TestServerSweep drives the server-level chaos scenarios — pool panics,
+// cache poisoning, mid-request cancellation, slow-loris bodies, injected
+// core faults, malformed traffic, overload shedding, and drain — against
+// live httptest instances. The invariant: every response is either a
+// verified network or a truthful structured error; the process never
+// crashes.
+func TestServerSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("server chaos sweep is not short")
+	}
+	violations := chaos.ServerSweep(chaos.ServerSweepOptions{Logf: t.Logf})
+	for _, v := range violations {
+		t.Errorf("chaos violation: circuit=%s plan=%s invariant=%s: %s",
+			v.Circuit, v.Plan, v.Invariant, v.Detail)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -221,6 +222,51 @@ func DefaultOptions() Options {
 	}
 }
 
+// ErrBadOptions reports option values that cannot mean anything
+// sensible — negative worker counts, NaN retry factors, unknown method
+// or polarity enums. Synthesize rejects them up front: the server feeds
+// Options from untrusted request headers, and silent misbehaviour
+// (a NaN scaling every retry budget to garbage) is strictly worse than
+// an explicit error.
+var ErrBadOptions = errors.New("core: invalid options")
+
+// maxWorkersSanity is far above any real machine; a Workers beyond it
+// is a unit confusion or an attack, not a configuration.
+const maxWorkersSanity = 1 << 14
+
+// maxRetryFactorSanity bounds the retry budget scale; the ladder's one
+// retry at 64x an already-generous budget is as far as "transient"
+// stretches.
+const maxRetryFactorSanity = 64
+
+// Validate checks the options for values Synthesize refuses to run
+// with. The zero value and DefaultOptions always validate.
+func (o Options) Validate() error {
+	if o.Workers < 0 || o.Workers > maxWorkersSanity {
+		return fmt.Errorf("%w: Workers %d out of range [0, %d]", ErrBadOptions, o.Workers, maxWorkersSanity)
+	}
+	if math.IsNaN(o.RetryFactor) || math.IsInf(o.RetryFactor, 0) {
+		return fmt.Errorf("%w: RetryFactor must be finite", ErrBadOptions)
+	}
+	if o.RetryFactor < 0 || o.RetryFactor > maxRetryFactorSanity {
+		return fmt.Errorf("%w: RetryFactor %g out of range [0, %d]", ErrBadOptions, o.RetryFactor, maxRetryFactorSanity)
+	}
+	switch o.Method {
+	case 0, MethodCube, MethodOFDD:
+	default:
+		return fmt.Errorf("%w: unknown Method %d", ErrBadOptions, o.Method)
+	}
+	switch o.Polarity {
+	case PolarityPositive, PolarityGreedy, PolarityExhaustive:
+	default:
+		return fmt.Errorf("%w: unknown Polarity %d", ErrBadOptions, o.Polarity)
+	}
+	if o.MaxBDDNodes < 0 || o.MaxOFDDNodes < 0 || o.MaxCubes < 0 || o.MaxSteps < 0 {
+		return fmt.Errorf("%w: negative resource budget (use 0 for unlimited)", ErrBadOptions)
+	}
+	return nil
+}
+
 func (o Options) method() Method {
 	if o.Method == 0 {
 		return MethodCube
@@ -347,6 +393,9 @@ func (r *Result) FallbackReport() string {
 // network — at worst a swept structural copy of the specification. A nil
 // ctx is treated as context.Background().
 func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *Result, err error) {
+	if verr := opt.Validate(); verr != nil {
+		return nil, verr
+	}
 	start := time.Now()
 	phase := "setup"
 	// Single residual-panic boundary: anything that escapes the per-phase

@@ -1,0 +1,58 @@
+package network
+
+import "repro/internal/sop"
+
+// FromPLA builds the two-level OR-of-ANDs network of a parsed PLA: one
+// AND gate per product term (complemented literals through a shared NOT
+// per input), one OR gate per output. This is the canonical import shape
+// for espresso-format specifications, shared by rmsyn and rmsynd.
+func FromPLA(p *sop.PLA) *Network {
+	name := p.Name
+	if name == "" {
+		name = "pla"
+	}
+	net := New(name)
+	pis := make([]int, p.Inputs)
+	for i := range pis {
+		pis[i] = net.AddPI(p.InNames[i])
+	}
+	notCache := map[int]int{}
+	lit := func(v int, phase bool) int {
+		if phase {
+			return pis[v]
+		}
+		if g, ok := notCache[v]; ok {
+			return g
+		}
+		g := net.AddGate(Not, pis[v])
+		notCache[v] = g
+		return g
+	}
+	for o, c := range p.Covers {
+		var terms []int
+		for _, t := range c.Terms {
+			var lits []int
+			t.Pos.ForEach(func(v int) { lits = append(lits, lit(v, true)) })
+			t.Neg.ForEach(func(v int) { lits = append(lits, lit(v, false)) })
+			switch len(lits) {
+			case 0:
+				terms = append(terms, net.AddGate(Const1))
+			case 1:
+				terms = append(terms, lits[0])
+			default:
+				terms = append(terms, net.AddGate(And, lits...))
+			}
+		}
+		var out int
+		switch len(terms) {
+		case 0:
+			out = net.AddGate(Const0)
+		case 1:
+			out = terms[0]
+		default:
+			out = net.AddGate(Or, terms...)
+		}
+		net.AddPO(p.OutName[o], out)
+	}
+	return net
+}

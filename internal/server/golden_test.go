@@ -1,0 +1,186 @@
+package server_test
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/server"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden rmsynd/v1 fixtures")
+
+// The golden tests pin the rmsynd/v1 wire format byte for byte: the
+// success body, the degraded body, and the 429 shed body. Any schema
+// drift — a renamed field, a reordered key, a float that picks up
+// jitter — fails here before a client sees it. Regenerate deliberately
+// with `go test ./internal/server -run TestGolden -update`.
+
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no golden %s (run with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (run with -update if deliberate)\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func cm82aBLIF(t *testing.T) []byte {
+	t.Helper()
+	c, ok := bench.ByName("cm82a")
+	if !ok {
+		t.Fatal("bench circuit cm82a missing")
+	}
+	var b bytes.Buffer
+	if err := c.Build().WriteBLIF(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func postBLIF(t *testing.T, ts *httptest.Server, body []byte, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/synthesize", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestGoldenSuccess(t *testing.T) {
+	srv := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	spec := cm82aBLIF(t)
+	// Workers pinned to 1 for a scheduling-independent body (the stats
+	// are volatile-stripped anyway; this is belt and braces).
+	hdrs := map[string]string{"X-Rmsynd-Workers": "1"}
+	resp, miss := postBLIF(t, ts, spec, hdrs)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, miss)
+	}
+	if got := resp.Header.Get("X-Rmsynd-Cache"); got != "miss" {
+		t.Errorf("first request X-Rmsynd-Cache = %q, want miss", got)
+	}
+	goldenCompare(t, "success.json", miss)
+
+	// Acceptance: the identical resubmission is a cache hit and its body
+	// is byte-identical to the miss.
+	resp2, hit := postBLIF(t, ts, spec, hdrs)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Rmsynd-Cache"); got != "hit" {
+		t.Errorf("repeat X-Rmsynd-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(miss, hit) {
+		t.Errorf("cache hit body differs from its miss (%d vs %d bytes)", len(miss), len(hit))
+	}
+}
+
+func TestGoldenDegraded(t *testing.T) {
+	srv := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// A one-cube budget trips the ladder deterministically; one worker
+	// keeps the degradation record order fixed.
+	resp, body := postBLIF(t, ts, cm82aBLIF(t), map[string]string{
+		"X-Rmsynd-Max-Cubes": "1",
+		"X-Rmsynd-Workers":   "1",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	goldenCompare(t, "degraded.json", body)
+	if !bytes.Contains(body, []byte(`"degradations": [`)) || bytes.Contains(body, []byte(`"degradations": []`)) {
+		t.Errorf("degraded body carries no degradation record:\n%s", body)
+	}
+	// Degraded results are served, never cached.
+	if resp.Header.Get("X-Rmsynd-Cache") != "miss" {
+		t.Errorf("degraded response X-Rmsynd-Cache = %q", resp.Header.Get("X-Rmsynd-Cache"))
+	}
+	if n := srv.Cache().Len(); n != 0 {
+		t.Errorf("degraded run populated the cache (%d entries)", n)
+	}
+}
+
+func TestGoldenShed(t *testing.T) {
+	gate := make(chan struct{})
+	srv := server.New(server.Config{
+		Workers:    1,
+		QueueDepth: -1, // capacity exactly 1
+		Hooks:      &server.Hooks{JobStart: func(string) { <-gate }},
+	})
+	ts := httptest.NewServer(srv)
+	// Open the gate before ts.Close (defers run LIFO): Close waits for
+	// the gated first request, which waits for the gate.
+	defer ts.Close()
+	defer close(gate)
+	if got := srv.QueueCapacity(); got != 1 {
+		t.Fatalf("QueueCapacity = %d, want 1", got)
+	}
+
+	spec := cm82aBLIF(t)
+	first := make(chan struct{})
+	go func() {
+		defer close(first)
+		// Raw post: this goroutine may outlive the test body, so no
+		// t-helpers here. Its only job is to hold the admission token.
+		resp, err := ts.Client().Post(ts.URL+"/v1/synthesize", "text/blif", bytes.NewReader(spec))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	// Wait until the first request holds the admission token (it is
+	// gated inside JobStart, so it shows up as inflight).
+	for i := 0; ; i++ {
+		if bytes.Contains([]byte(srv.Metrics()), []byte("rmsynd_inflight 1")) {
+			break
+		}
+		if i > 5000 {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := postBLIF(t, ts, spec, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429; body %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After")
+	}
+	goldenCompare(t, "shed.json", body)
+}

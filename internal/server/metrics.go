@@ -1,0 +1,143 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// metrics is the server's observability surface: request outcomes,
+// admission pressure, cache effectiveness, and the aggregated pipeline
+// counters from every request's obs.Collector. Everything is atomic so
+// the hot path never takes the rendering lock.
+type metrics struct {
+	admitted atomic.Int64 // admission tokens currently held (queued + running)
+	inflight atomic.Int64 // requests currently synthesizing
+	shed     atomic.Int64 // requests refused with 429
+	abandon  atomic.Int64 // clients gone before their flight finished
+
+	cacheHit       atomic.Int64
+	cacheMiss      atomic.Int64
+	cacheCoalesced atomic.Int64
+
+	degraded atomic.Int64 // responses with a non-empty degradation ladder
+	panics   atomic.Int64 // panics contained by the request boundary
+
+	// Aggregated pipeline counters (summed obs snapshots).
+	bddUniqueHits, bddUniqueMisses atomic.Int64
+	bddOpHits, bddOpMisses         atomic.Int64
+	ofddUniqueHits, ofddOpHits     atomic.Int64
+	factorRules, factorDivHits     atomic.Int64
+
+	mu       sync.Mutex
+	byCode   map[string]int64 // responses by error code ("" = success)
+	draining atomic.Bool
+}
+
+func newMetrics() *metrics {
+	return &metrics{byCode: make(map[string]int64)}
+}
+
+// outcome records one finished response under its error code ("" for a
+// 200).
+func (m *metrics) outcome(code string) {
+	m.mu.Lock()
+	m.byCode[code]++
+	m.mu.Unlock()
+}
+
+// absorb folds one request's pipeline counters into the totals.
+func (m *metrics) absorb(s obs.Stats) {
+	m.bddUniqueHits.Add(s.BDD.UniqueHits)
+	m.bddUniqueMisses.Add(s.BDD.UniqueMisses)
+	m.bddOpHits.Add(s.BDD.OpHits)
+	m.bddOpMisses.Add(s.BDD.OpMisses)
+	m.ofddUniqueHits.Add(s.OFDD.UniqueHits)
+	m.ofddOpHits.Add(s.OFDD.OpHits)
+	m.factorRules.Add(s.Factor.RuleA + s.Factor.RuleB + s.Factor.RuleC + s.Factor.RuleD + s.Factor.RuleE)
+	m.factorDivHits.Add(s.Factor.DivisorHits)
+}
+
+func (m *metrics) cache(src fmt.Stringer) {
+	switch src.String() {
+	case "hit":
+		m.cacheHit.Add(1)
+	case "coalesced":
+		m.cacheCoalesced.Add(1)
+	default:
+		m.cacheMiss.Add(1)
+	}
+}
+
+// write renders the Prometheus text exposition. cacheLen/cacheBytes are
+// sampled from the result cache at scrape time.
+func (m *metrics) write(w io.Writer, cacheLen int, cacheBytes int64) {
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	admitted := m.admitted.Load()
+	running := m.inflight.Load()
+	queued := admitted - running
+	if queued < 0 {
+		queued = 0
+	}
+	gauge("rmsynd_inflight", "requests currently synthesizing", running)
+	gauge("rmsynd_queue_depth", "admitted requests waiting for workers", queued)
+	drain := int64(0)
+	if m.draining.Load() {
+		drain = 1
+	}
+	gauge("rmsynd_draining", "1 while the server is draining after SIGTERM", drain)
+
+	counter("rmsynd_shed_total", "requests refused with 429 at admission", m.shed.Load())
+	counter("rmsynd_abandoned_total", "clients gone before their result was ready", m.abandon.Load())
+	counter("rmsynd_degraded_total", "responses carrying a non-empty degradation ladder", m.degraded.Load())
+	counter("rmsynd_panics_total", "panics contained by the request boundary", m.panics.Load())
+
+	counter("rmsynd_cache_hits_total", "requests served from the result cache", m.cacheHit.Load())
+	counter("rmsynd_cache_misses_total", "requests that ran a synthesis", m.cacheMiss.Load())
+	counter("rmsynd_cache_coalesced_total", "requests collapsed onto an identical in-flight synthesis", m.cacheCoalesced.Load())
+	gauge("rmsynd_cache_entries", "result cache entries", int64(cacheLen))
+	gauge("rmsynd_cache_bytes", "result cache body bytes", cacheBytes)
+
+	// Responses by code, stable order for scrape diffing.
+	fmt.Fprintf(w, "# HELP rmsynd_responses_total responses by error code (code=\"ok\" for 200s)\n# TYPE rmsynd_responses_total counter\n")
+	m.mu.Lock()
+	codes := make([]string, 0, len(m.byCode))
+	for c := range m.byCode {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		label := c
+		if label == "" {
+			label = "ok"
+		}
+		fmt.Fprintf(w, "rmsynd_responses_total{code=%q} %d\n", label, m.byCode[c])
+	}
+	m.mu.Unlock()
+
+	counter("rmsynd_obs_bdd_unique_hits_total", "aggregated BDD unique-table hits", m.bddUniqueHits.Load())
+	counter("rmsynd_obs_bdd_unique_misses_total", "aggregated BDD unique-table misses", m.bddUniqueMisses.Load())
+	counter("rmsynd_obs_bdd_op_hits_total", "aggregated BDD op-cache hits", m.bddOpHits.Load())
+	counter("rmsynd_obs_bdd_op_misses_total", "aggregated BDD op-cache misses", m.bddOpMisses.Load())
+	counter("rmsynd_obs_ofdd_unique_hits_total", "aggregated OFDD unique-table hits", m.ofddUniqueHits.Load())
+	counter("rmsynd_obs_ofdd_op_hits_total", "aggregated OFDD op-cache hits", m.ofddOpHits.Load())
+	counter("rmsynd_obs_factor_rule_applications_total", "aggregated Section 3 rule applications", m.factorRules.Load())
+	counter("rmsynd_obs_factor_divisor_hits_total", "aggregated divisor-registry hits", m.factorDivHits.Load())
+}
+
+// handleMetrics serves the Prometheus exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, s.cache.Len(), s.cache.Bytes())
+}

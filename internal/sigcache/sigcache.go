@@ -1,0 +1,217 @@
+package sigcache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrFlightPanicked is what joiners of a flight observe when the
+// leader's fn panicked: the flight is failed (never left hanging), the
+// panic itself re-raises on the leader's goroutine only.
+var ErrFlightPanicked = errors.New("sigcache: flight leader panicked")
+
+// Entry is one cached synthesis result: the exact serialized response
+// body served on the miss (hits replay it byte for byte), plus the flow
+// record — which configuration produced it — so future basis-selection
+// work can reuse cached results per flow (Kushch's per-block basis
+// argument applied to the cache).
+type Entry struct {
+	Body []byte // exact rmsynd/v1 response body bytes
+	Flow string // flow fingerprint, e.g. "method=cube polarity=greedy"
+
+	// Result cost summary, for metrics and cache introspection.
+	Gates2   int
+	Literals int
+}
+
+func (e *Entry) size() int64 {
+	return int64(len(e.Body) + len(e.Flow)) + 64
+}
+
+// Source classifies how a GetOrDo call was served.
+type Source int
+
+// GetOrDo outcomes.
+const (
+	Miss      Source = iota // this call ran fn
+	Hit                     // served from the cache
+	Coalesced               // collapsed onto a concurrent identical call
+)
+
+func (s Source) String() string {
+	switch s {
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	}
+	return "miss"
+}
+
+// flight is one in-progress computation all identical concurrent
+// requests collapse onto.
+type flight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// Cache is a bounded, concurrency-safe LRU of synthesis results with
+// single-flight collapsing. The memory bound follows the repo's budget
+// discipline: both an entry count and a byte total are capped, and
+// inserting past either cap evicts least-recently-used entries first.
+// An entry larger than the whole byte budget is never stored.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+	flights    map[string]*flight
+}
+
+type lruItem struct {
+	key   string
+	entry *Entry
+}
+
+// New returns a cache bounded to maxEntries entries and maxBytes total
+// body bytes. Non-positive bounds fall back to defaults (1024 entries,
+// 64 MiB).
+func New(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		flights:    make(map[string]*flight),
+	}
+}
+
+// Get returns the cached entry for key and promotes it, or nil.
+func (c *Cache) Get(key string) *Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruItem).entry
+	}
+	return nil
+}
+
+// Put inserts (or replaces) the entry under key, evicting LRU entries
+// until the bounds hold again. Entries bigger than the byte budget are
+// dropped silently — the caller's result is unaffected, it just will
+// not be a future hit.
+func (c *Cache) Put(key string, e *Entry) {
+	if e == nil || e.size() > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		old := el.Value.(*lruItem)
+		c.bytes += e.size() - old.entry.size()
+		old.entry = e
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruItem{key: key, entry: e})
+		c.bytes += e.size()
+	}
+	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		it := el.Value.(*lruItem)
+		c.ll.Remove(el)
+		delete(c.items, it.key)
+		c.bytes -= it.entry.size()
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the current body-byte total.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// GetOrDo is the cache's request path. Under one lock acquisition it
+// checks the store (storeKey; "" skips the lookup — the caller asked to
+// bypass the cache), then the in-flight table (flightKey), and either
+// joins an existing flight or becomes the leader of a new one.
+//
+//   - Hit: the stored entry is returned immediately.
+//   - Leader (Miss): fn runs on the calling goroutine — to completion,
+//     regardless of ctx; fn carries its own deadline discipline. Its
+//     result is published to every joiner, and stored under storeKey
+//     when fn reports it cacheable. A panic in fn is re-raised on the
+//     leader after the flight is failed, so joiners never deadlock and
+//     the caller's containment boundary still sees the panic.
+//   - Joiner (Coalesced): blocks until the leader publishes or ctx is
+//     done, whichever is first.
+//
+// The single-flight guarantee: for one flightKey, concurrent GetOrDo
+// calls run fn exactly once. Sequential calls rerun fn only if the
+// entry was not cacheable or has been evicted.
+func (c *Cache) GetOrDo(ctx context.Context, storeKey, flightKey string,
+	fn func() (e *Entry, cacheable bool, err error)) (*Entry, Source, error) {
+	c.mu.Lock()
+	if storeKey != "" {
+		if el, ok := c.items[storeKey]; ok {
+			c.ll.MoveToFront(el)
+			e := el.Value.(*lruItem).entry
+			c.mu.Unlock()
+			return e, Hit, nil
+		}
+	}
+	if f, ok := c.flights[flightKey]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.entry, Coalesced, f.err
+		case <-ctx.Done():
+			return nil, Coalesced, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[flightKey] = f
+	c.mu.Unlock()
+
+	panicked := true
+	defer func() {
+		c.mu.Lock()
+		delete(c.flights, flightKey)
+		c.mu.Unlock()
+		if panicked && f.err == nil {
+			// fn panicked: fail the flight before the panic unwinds so
+			// joiners wake with an error instead of a nil entry.
+			f.err = ErrFlightPanicked
+		}
+		close(f.done)
+	}()
+	e, cacheable, err := fn()
+	panicked = false
+	f.entry, f.err = e, err
+	if err == nil && cacheable && storeKey != "" {
+		c.Put(storeKey, e)
+	}
+	return e, Miss, err
+}
