@@ -103,7 +103,7 @@ func ReadReport(path string) (*Report, error) {
 // Regression is one regression-gate finding.
 type Regression struct {
 	Circuit string
-	Kind    string // "literals", "degradations", "verification", "error", "missing"
+	Kind    string // "literals", "map-gates", "map-literals", "degradations", "verification", "error", "missing"
 	Detail  string
 }
 
@@ -112,12 +112,12 @@ func (r Regression) String() string {
 }
 
 // Check compares a current report against a baseline and returns every
-// regression: a literal-count increase, a new degradation-ladder fall,
-// a verification failure, a new error, or a baseline circuit missing
-// from the current run. Improvements (fewer literals, fewer
-// degradations) pass silently — the gate is one-sided by design, so a
-// better result never blocks a merge; refresh the baseline to lock it
-// in.
+// regression: a pre-map literal-count increase, a mapped gate- or
+// literal-count increase, a new degradation-ladder fall, a verification
+// failure, a new error, or a baseline circuit missing from the current
+// run. Improvements (fewer literals or gates, fewer degradations) pass
+// silently — the gate is one-sided by design, so a better result never
+// blocks a merge; refresh the baseline to lock it in.
 func Check(cur, base *Report) []Regression {
 	curBy := make(map[string]CircuitReport, len(cur.Circuits))
 	for _, c := range cur.Circuits {
@@ -141,6 +141,14 @@ func Check(cur, base *Report) []Regression {
 		if c.OursLits > b.OursLits {
 			regs = append(regs, Regression{b.Name, "literals",
 				fmt.Sprintf("pre-map literals %d > baseline %d", c.OursLits, b.OursLits)})
+		}
+		if c.MapGates > b.MapGates {
+			regs = append(regs, Regression{b.Name, "map-gates",
+				fmt.Sprintf("mapped gates %d > baseline %d", c.MapGates, b.MapGates)})
+		}
+		if c.MapLits > b.MapLits {
+			regs = append(regs, Regression{b.Name, "map-literals",
+				fmt.Sprintf("mapped literals %d > baseline %d", c.MapLits, b.MapLits)})
 		}
 		if c.Degradations > b.Degradations {
 			regs = append(regs, Regression{b.Name, "degradations",

@@ -196,8 +196,8 @@ type ProbeHooks struct {
 	FactorOFDDAlloc func() func(nodes int) *budget.Err
 	// Phase is called on entry to every pipeline phase ("setup",
 	// "spec-bdd", "fprm", "factor", "emit", "do-no-harm-prep", "redund",
-	// "merge", "verify"). A panic here exercises the residual recover
-	// boundary; canceling the run's context exercises the ladder.
+	// "merge", "cleanup", "verify"). A panic here exercises the residual
+	// recover boundary; canceling the run's context exercises the ladder.
 	Phase func(name string)
 	// Worker is called at the start of each per-output derivation with
 	// the worker and output indices, inside the worker goroutine —
@@ -322,7 +322,7 @@ type Degradation struct {
 
 // PhaseTime records the wall-clock time of one pipeline phase.
 type PhaseTime struct {
-	Name    string // "spec-bdd", "fprm", "factor", "emit", "redund", "merge", "verify"
+	Name    string // "spec-bdd", "fprm", "factor", "emit", "redund", "merge", "cleanup", "verify"
 	Elapsed time.Duration
 }
 
@@ -793,6 +793,9 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 			}
 		}
 		specOpt.Sweep()
+		// Same cleanup the FPRM result gets below, so the do-no-harm
+		// comparison is between equally-polished networks.
+		cleanupNetwork(specOpt)
 	}
 	hopeless := specOpt != nil && net.CollectStats().Gates2 > 8*specOpt.CollectStats().Gates2
 
@@ -838,6 +841,14 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 		net.Sweep()
 	}
 	markPhase("merge")
+	// Structural cleanup after the optimization passes: cancel inverter
+	// pairs, rebalance XOR chains (deferred until after redund, whose
+	// Section 4 analysis depends on the factor-phase tree shapes),
+	// re-hash, and compact away everything the merges left dead. Runs
+	// before verify so the equivalence check covers it.
+	enterPhase("cleanup")
+	cleanupNetwork(net)
+	markPhase("cleanup")
 	// Safety net: the synthesized network must match the specification.
 	// The budget is detached first — verification must always run to
 	// completion, even (especially) after a deadline trip.
@@ -877,6 +888,20 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 	return res, nil
 }
 
+// cleanupNetwork runs the cheap structural post-passes: inverter-pair
+// elimination, XOR-tree rebalancing, a re-hash of anything the rewrites
+// uncovered, and compaction of dead gates. None of the passes can
+// increase Gates2 (inverters are free, a rebalanced tree has the same
+// leaf count or fewer, hashing only removes), so running them is always
+// safe for the do-no-harm comparison.
+func cleanupNetwork(net *network.Network) {
+	net.ElimInvPairs()
+	net.RebalanceXorTrees()
+	net.Strash()
+	net.Sweep()
+	net.Compact()
+}
+
 // listLits sums the literal counts of a cube list.
 func listLits(l *cube.List) int {
 	lits := 0
@@ -906,6 +931,7 @@ func fallbackToSpec(spec *network.Network, opt Options, reason string, start tim
 	net.Name = spec.Name + "_rm"
 	net.Strash()
 	net.Sweep()
+	net.Compact()
 	res := &Result{
 		Network:  net,
 		Stats:    net.CollectStats(),

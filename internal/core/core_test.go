@@ -228,12 +228,15 @@ func TestQuickSynthesisPreserves(t *testing.T) {
 }
 
 // TestMergeEquivalentGates: two gates computing the same function merge.
+// Structural duplicates are already consed away at construction, so the
+// duplicate here is functional only: And(a,b) vs De Morgan's
+// Not(Or(Not a, Not b)) — beyond what structural hashing can see.
 func TestMergeEquivalentGates(t *testing.T) {
 	n := network.New("m")
 	a := n.AddPI("a")
 	b := n.AddPI("b")
 	g1 := n.AddGate(And, a, b)
-	g2 := n.AddGate(And, b, a)
+	g2 := n.AddGate(network.Not, n.AddGate(network.Or, n.AddGate(network.Not, a), n.AddGate(network.Not, b)))
 	n.AddPO("x", n.AddGate(network.Xor, g1, g2))
 	m := bdd.New(2)
 	merged := MergeEquivalentGates(n, m)

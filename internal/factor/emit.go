@@ -1,9 +1,6 @@
 package factor
 
 import (
-	"fmt"
-	"sort"
-
 	"repro/internal/cube"
 	"repro/internal/network"
 )
@@ -11,19 +8,18 @@ import (
 // Emitter turns expression DAGs into gates of a network, applying the FPRM
 // polarity to literals and sharing structurally identical subexpressions
 // across all emitted expressions (the cross-output sharing the paper
-// obtains with SIS resub). Gates are hash-consed as they are created, so
-// the same (type, fanins) gate is never emitted twice, and XOR trees
-// prefer operand pairs whose XOR gate already exists.
+// obtains with SIS resub). The network itself hash-conses gates at
+// construction, so the same (type, fanins) gate is never emitted twice —
+// across expressions, outputs, and anything else already in the network —
+// and XOR trees prefer operand pairs whose XOR gate already exists
+// (network.FindGate, the former hasGate linear probe).
 type Emitter struct {
 	Net      *network.Network
 	PIGates  []int  // gate ID of each variable's primary input
 	Polarity []bool // literal polarity per variable (nil = all positive)
 
-	memo      map[string]int
-	gateCache map[string]int
-	supCache  map[string]cube.BitSet
-	const0    int
-	const1    int
+	memo     map[string]int
+	supCache map[string]cube.BitSet
 }
 
 // NewEmitter returns an emitter into net whose variable v literal is
@@ -31,52 +27,9 @@ type Emitter struct {
 func NewEmitter(net *network.Network, piGates []int, polarity []bool) *Emitter {
 	return &Emitter{
 		Net: net, PIGates: piGates, Polarity: polarity,
-		memo:      make(map[string]int),
-		gateCache: make(map[string]int),
-		supCache:  make(map[string]cube.BitSet),
-		const0:    -1, const1: -1,
+		memo:     make(map[string]int),
+		supCache: make(map[string]cube.BitSet),
 	}
-}
-
-func gateKey(t network.GateType, fanins []int) string {
-	return fmt.Sprintf("%d:%v", t, fanins)
-}
-
-// addGate hash-conses gate creation (commutative fanins sorted).
-func (em *Emitter) addGate(t network.GateType, fanins ...int) int {
-	switch t {
-	case network.And, network.Or, network.Xor, network.Nand, network.Nor, network.Xnor:
-		sort.Ints(fanins)
-	}
-	key := gateKey(t, fanins)
-	if id, ok := em.gateCache[key]; ok {
-		return id
-	}
-	id := em.Net.AddGate(t, fanins...)
-	em.gateCache[key] = id
-	return id
-}
-
-// hasGate reports whether a gate with this type and fanins already exists.
-func (em *Emitter) hasGate(t network.GateType, fanins ...int) bool {
-	sort.Ints(fanins)
-	_, ok := em.gateCache[gateKey(t, fanins)]
-	return ok
-}
-
-// tree builds a balanced tree of 2-input hash-consed gates.
-func (em *Emitter) tree(t network.GateType, ids []int) int {
-	for len(ids) > 1 {
-		var next []int
-		for i := 0; i+1 < len(ids); i += 2 {
-			next = append(next, em.addGate(t, ids[i], ids[i+1]))
-		}
-		if len(ids)%2 == 1 {
-			next = append(next, ids[len(ids)-1])
-		}
-		ids = next
-	}
-	return ids[0]
 }
 
 // Emit adds gates computing e and returns the driving gate ID.
@@ -87,22 +40,16 @@ func (em *Emitter) Emit(e *Expr) int {
 	var id int
 	switch e.Op {
 	case OpConst0:
-		if em.const0 < 0 {
-			em.const0 = em.Net.AddGate(network.Const0)
-		}
-		id = em.const0
+		id = em.Net.AddGate(network.Const0)
 	case OpConst1:
-		if em.const1 < 0 {
-			em.const1 = em.Net.AddGate(network.Const1)
-		}
-		id = em.const1
+		id = em.Net.AddGate(network.Const1)
 	case OpLit:
 		id = em.PIGates[e.Var]
 		if em.Polarity != nil && !em.Polarity[e.Var] {
-			id = em.not(id)
+			id = em.Net.AddGate(network.Not, id)
 		}
 	case OpNot:
-		id = em.not(em.Emit(e.Kids[0]))
+		id = em.Net.AddGate(network.Not, em.Emit(e.Kids[0]))
 	case OpAnd, OpOr:
 		fanins := make([]int, len(e.Kids))
 		for i, k := range e.Kids {
@@ -114,7 +61,7 @@ func (em *Emitter) Emit(e *Expr) int {
 		}
 		// Keep gates 2-input: the paper's cost model and the redundancy
 		// analysis of Section 4 are formulated over 2-input gates.
-		id = em.tree(t, fanins)
+		id = em.Net.BalancedTree(t, fanins)
 	case OpXor:
 		id = em.emitXor(e)
 	}
@@ -175,7 +122,7 @@ func (em *Emitter) emitXor(e *Expr) int {
 				for j := i + 1; j < len(group); j++ {
 					si, sj := group[i].sup, group[j].sup
 					score := 0
-					if em.hasGate(network.Xor, group[i].id, group[j].id) {
+					if _, ok := em.Net.FindGate(network.Xor, group[i].id, group[j].id); ok {
 						score += 1 << 21 // the pair gate already exists
 					}
 					if si.SubsetOf(sj) || sj.SubsetOf(si) {
@@ -199,7 +146,7 @@ func (em *Emitter) emitXor(e *Expr) int {
 		merged := false
 		for i := 0; i < len(roots) && !merged; i++ {
 			for j := i + 1; j < len(roots); j++ {
-				if em.hasGate(network.Xor, roots[i].id, roots[j].id) {
+				if _, ok := em.Net.FindGate(network.Xor, roots[i].id, roots[j].id); ok {
 					roots = mergePair(em, roots, i, j)
 					merged = true
 					break
@@ -230,7 +177,7 @@ type xorItem struct {
 func (em *Emitter) pairItems(a, b xorItem) xorItem {
 	s := a.sup.Clone()
 	s.UnionWith(b.sup)
-	return xorItem{id: em.addGate(network.Xor, a.id, b.id), sup: s}
+	return xorItem{id: em.Net.AddGate(network.Xor, a.id, b.id), sup: s}
 }
 
 func mergePair(em *Emitter, group []xorItem, bi, bj int) []xorItem {
@@ -258,14 +205,4 @@ func (em *Emitter) support(e *Expr) cube.BitSet {
 	}
 	em.supCache[e.key] = s
 	return s
-}
-
-func (em *Emitter) not(id int) int {
-	key := gateKey(network.Not, []int{id})
-	if n, ok := em.gateCache[key]; ok {
-		return n
-	}
-	n := em.Net.AddGate(network.Not, id)
-	em.gateCache[key] = n
-	return n
 }

@@ -4,6 +4,15 @@
 // simulation, structural cleanup (sweep, constant propagation, structural
 // hashing), cost metrics, BDD extraction, and BLIF text I/O.
 //
+// The network is hash-consed at construction: AddGate canonicalizes its
+// request (commutative fanins sorted, constants folded, idempotence and
+// double-negation applied) and returns the existing gate on a structural
+// hit, so an equivalent (type, fanins) gate is created exactly once — the
+// same unique-table discipline package bdd applies to decision-diagram
+// nodes. Strash and Sweep remain as thin repair passes for networks that
+// were mutated in place (redundancy removal, sweeps, deserialization
+// followed by editing). See DESIGN.md §12 for the invariants.
+//
 // The pre-technology-mapping cost metric follows the paper's convention:
 // circuits are measured in 2-input AND/OR gates, an XOR counting as three
 // AND/OR gates (Example 1), inverters free, and "lits" = 2 × gate count.
@@ -42,7 +51,15 @@ var typeNames = map[GateType]string{
 	And: "and", Or: "or", Nand: "nand", Nor: "nor", Xor: "xor", Xnor: "xnor",
 }
 
-func (t GateType) String() string { return typeNames[t] }
+func (t GateType) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	// Out-of-range values (corrupted input, future enum members) must
+	// still print something useful in degradation reports and BLIF error
+	// paths rather than an empty string.
+	return fmt.Sprintf("gatetype(%d)", int(t))
+}
 
 // Gate is one node of the network. Fanins refer to gate IDs.
 type Gate struct {
@@ -64,12 +81,21 @@ type Network struct {
 	Gates []Gate
 	PIs   []int // gate IDs, in declaration order
 	POs   []PO
+
+	// strash is the hash-consing table: canonical (type, fanins) hash →
+	// candidate gate IDs. Entries are verified against the gate's current
+	// contents on lookup, so a table left stale by an in-place mutation
+	// (Sweep, redundancy removal) can only miss, never alias the wrong
+	// gate. nil means "rebuild lazily on next use" — the zero value, a
+	// Clone, or a struct-literal network all work unchanged.
+	strash map[uint64][]int
 }
 
 // New returns an empty network.
 func New(name string) *Network { return &Network{Name: name} }
 
-// AddPI appends a primary input gate and returns its ID.
+// AddPI appends a primary input gate and returns its ID. PIs are never
+// hash-consed: each declaration is a distinct input.
 func (n *Network) AddPI(name string) int {
 	id := len(n.Gates)
 	n.Gates = append(n.Gates, Gate{ID: id, Type: PI, Name: name})
@@ -77,8 +103,208 @@ func (n *Network) AddPI(name string) int {
 	return id
 }
 
-// AddGate appends a gate of the given type and returns its ID. Fanin IDs
-// must already exist.
+// strashKey hashes a canonical (type, fanins) pair with FNV-1a over the
+// raw integers — no per-gate string formatting or allocation.
+func strashKey(t GateType, fanins []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(t))
+	for _, f := range fanins {
+		mix(uint64(f))
+	}
+	return h
+}
+
+// table returns the strash map, rebuilding it from the current gate list
+// if an in-place mutation invalidated it (or it was never built).
+func (n *Network) table() map[uint64][]int {
+	if n.strash == nil {
+		n.strash = make(map[uint64][]int, len(n.Gates))
+		for i := range n.Gates {
+			g := &n.Gates[i]
+			if g.Type == PI {
+				continue
+			}
+			k := strashKey(g.Type, g.Fanins)
+			n.strash[k] = append(n.strash[k], g.ID)
+		}
+	}
+	return n.strash
+}
+
+// lookupStrash returns an existing gate whose *current* contents equal
+// the canonical (t, fanins), or -1. Verifying against the live gate (not
+// what was inserted) makes stale entries harmless.
+func (n *Network) lookupStrash(t GateType, fanins []int) int {
+	for _, id := range n.table()[strashKey(t, fanins)] {
+		g := &n.Gates[id]
+		if g.Type != t || len(g.Fanins) != len(fanins) {
+			continue
+		}
+		match := true
+		for i, f := range g.Fanins {
+			if f != fanins[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return id
+		}
+	}
+	return -1
+}
+
+func (n *Network) insertStrash(id int) {
+	g := &n.Gates[id]
+	k := strashKey(g.Type, g.Fanins)
+	n.strash[k] = append(n.strash[k], id)
+}
+
+// canonGate rewrites a requested gate into canonical form. It returns
+// either a collapse onto an existing gate (collapse >= 0, the other two
+// results unset), or the canonical (type, fanins) to build: commutative
+// fanins sorted ascending, constants folded, duplicate fanins collapsed
+// (And) or cancelled pairwise (Xor), double negation eliminated, and
+// Xor/Xnor polarity normalized. cf never aliases the caller's slice.
+func (n *Network) canonGate(t GateType, fanins []int) (ct GateType, cf []int, collapse int) {
+	typeOf := func(id int) GateType { return n.Gates[id].Type }
+	// Look through buffer chains first, so logic behind a Buf (left by
+	// in-place rewrites or BLIF round-trips) canonicalizes to the same
+	// form as logic on the raw driver.
+	for i, f := range fanins {
+		if typeOf(f) != Buf {
+			continue
+		}
+		rf := make([]int, len(fanins))
+		copy(rf, fanins[:i])
+		for j := i; j < len(fanins); j++ {
+			g := fanins[j]
+			for typeOf(g) == Buf {
+				g = n.Gates[g].Fanins[0]
+			}
+			rf[j] = g
+		}
+		fanins = rf
+		break
+	}
+	switch t {
+	case Const0, Const1:
+		return t, nil, -1
+	case Buf:
+		return 0, nil, fanins[0]
+	case Not:
+		switch f := fanins[0]; typeOf(f) {
+		case Const0:
+			return Const1, nil, -1
+		case Const1:
+			return Const0, nil, -1
+		case Not:
+			return 0, nil, n.Gates[f].Fanins[0]
+		default:
+			return Not, []int{f}, -1
+		}
+	case And, Nand, Or, Nor:
+		isAnd := t == And || t == Nand
+		neg := t == Nand || t == Nor
+		kept := make([]int, 0, len(fanins))
+		killed := false
+		for _, f := range fanins {
+			ft := typeOf(f)
+			if isAnd && ft == Const1 || !isAnd && ft == Const0 {
+				continue // identity element
+			}
+			if isAnd && ft == Const0 || !isAnd && ft == Const1 {
+				killed = true // dominating element
+				break
+			}
+			dup := false
+			for _, k := range kept {
+				if k == f {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				kept = append(kept, f)
+			}
+		}
+		if killed {
+			if isAnd != neg { // And→0, Nor→0
+				return Const0, nil, -1
+			}
+			return Const1, nil, -1
+		}
+		switch len(kept) {
+		case 0: // all identity elements: And()→1, Or()→0, negated forms flip
+			if isAnd != neg {
+				return Const1, nil, -1
+			}
+			return Const0, nil, -1
+		case 1:
+			if neg {
+				return n.canonGate(Not, kept)
+			}
+			return 0, nil, kept[0]
+		}
+		sort.Ints(kept)
+		return t, kept, -1
+	case Xor, Xnor:
+		invert := t == Xnor
+		count := make(map[int]int, len(fanins))
+		for _, f := range fanins {
+			switch typeOf(f) {
+			case Const0:
+				// identity
+			case Const1:
+				invert = !invert
+			default:
+				count[f]++
+			}
+		}
+		kept := make([]int, 0, len(count))
+		for f, c := range count {
+			if c%2 == 1 {
+				kept = append(kept, f)
+			}
+		}
+		sort.Ints(kept)
+		switch len(kept) {
+		case 0:
+			if invert {
+				return Const1, nil, -1
+			}
+			return Const0, nil, -1
+		case 1:
+			if invert {
+				return n.canonGate(Not, kept)
+			}
+			return 0, nil, kept[0]
+		}
+		if invert {
+			return Xnor, kept, -1
+		}
+		return Xor, kept, -1
+	}
+	panic(fmt.Sprintf("network: canonGate on %v", t))
+}
+
+// AddGate returns a gate computing the given function of the fanins,
+// creating it only if no structurally identical gate exists. The request
+// is first canonicalized — commutative fanins sorted, constants folded,
+// And(a,a)→a, Xor(a,a)→0, Not(Not(a))→a, Buf(a)→a — so the returned ID
+// may be an existing gate (possibly one of the fanins themselves) and
+// the network never grows two gates with the same canonical form.
 //
 // The shape checks below are programmer invariants guarding API misuse
 // at construction sites (all fanin IDs and arities are chosen by code,
@@ -105,9 +331,32 @@ func (n *Network) AddGate(t GateType, fanins ...int) int {
 			panic(fmt.Sprintf("network: %v needs fanins", t))
 		}
 	}
+	ct, cf, collapse := n.canonGate(t, fanins)
+	if collapse >= 0 {
+		return collapse
+	}
+	if id := n.lookupStrash(ct, cf); id >= 0 {
+		return id
+	}
 	id := len(n.Gates)
-	n.Gates = append(n.Gates, Gate{ID: id, Type: t, Fanins: append([]int(nil), fanins...)})
+	n.Gates = append(n.Gates, Gate{ID: id, Type: ct, Fanins: cf})
+	n.insertStrash(id)
 	return id
+}
+
+// FindGate reports whether a gate computing the given function already
+// exists, without creating one. The request is canonicalized exactly as
+// AddGate would, so FindGate(t, f...) succeeds iff AddGate(t, f...)
+// would return an existing ID.
+func (n *Network) FindGate(t GateType, fanins ...int) (int, bool) {
+	ct, cf, collapse := n.canonGate(t, fanins)
+	if collapse >= 0 {
+		return collapse, true
+	}
+	if id := n.lookupStrash(ct, cf); id >= 0 {
+		return id, true
+	}
+	return -1, false
 }
 
 // AddPO marks gate id as the primary output called name.
@@ -449,18 +698,47 @@ func (n *Network) Sweep() int {
 			changed++
 		}
 	}
+	if changed > 0 {
+		n.strash = nil // in-place rewrites; rebuild the table lazily
+	}
 	return changed
 }
 
-// Strash merges structurally identical gates (same type, same multiset of
-// fanins, commutativity respected) across the whole network, bottom-up.
-// Returns the number of gates merged away.
+// Strash re-canonicalizes and merges structurally identical gates (same
+// type, same set of fanins, commutativity respected) across the whole
+// network, bottom-up. Hash-consed construction makes this a no-op on a
+// freshly built network; it remains the repair pass for networks
+// deserialized from BLIF or mutated in place (redundancy removal,
+// functional merging). Unlike the constructors it also simplifies gates
+// whose fanins *become* equal or constant after a replacement —
+// And(a,a)→a, Xor(a,a)→0 — and looks through Buf/Not chains, so
+// equivalent logic hidden behind a buffer merges too. Returns the number
+// of gates merged or collapsed away.
 func (n *Network) Strash() int {
 	repl := make([]int, len(n.Gates))
 	for i := range repl {
 		repl[i] = i
 	}
-	seen := make(map[string]int)
+	table := make(map[uint64][]int, len(n.Gates))
+	lookup := func(t GateType, fanins []int) int {
+		for _, id := range table[strashKey(t, fanins)] {
+			g := &n.Gates[id]
+			if g.Type != t || len(g.Fanins) != len(fanins) {
+				continue
+			}
+			match := true
+			for i, f := range g.Fanins {
+				if f != fanins[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return id
+			}
+		}
+		return -1
+	}
 	merged := 0
 	for _, id := range n.TopoOrder() {
 		g := &n.Gates[id]
@@ -471,17 +749,22 @@ func (n *Network) Strash() int {
 		for i, f := range g.Fanins {
 			fins[i] = repl[f]
 		}
-		switch g.Type {
-		case And, Or, Nand, Nor, Xor, Xnor:
-			sort.Ints(fins)
+		ct, cf, collapse := n.canonGate(g.Type, fins)
+		if collapse >= 0 {
+			// The gate reduced to one of its (replaced) fanins: Buf, a
+			// single surviving And/Or fanin, And(a,a), a cancelled
+			// double negation. Its fanout will be rewired past it.
+			repl[id] = collapse
+			merged++
+			continue
 		}
-		g.Fanins = fins
-		key := fmt.Sprintf("%d:%v", g.Type, fins)
-		if prev, ok := seen[key]; ok {
+		g.Type, g.Fanins = ct, cf
+		if prev := lookup(ct, cf); prev >= 0 {
 			repl[id] = prev
 			merged++
 		} else {
-			seen[key] = id
+			k := strashKey(ct, cf)
+			table[k] = append(table[k], id)
 		}
 	}
 	for i := range n.Gates {
@@ -492,7 +775,236 @@ func (n *Network) Strash() int {
 	for i := range n.POs {
 		n.POs[i].Gate = repl[n.POs[i].Gate]
 	}
+	// The local table indexed the canonical survivors, but the fanin
+	// rewrite loop above may have edited merged-away gates' fanin slices;
+	// those stale entries verify-and-miss, so the table stays usable.
+	n.strash = table
 	return merged
+}
+
+// ElimInvPairs cancels inverter pairs: every fanin (and PO) reference is
+// resolved through chains of Not gates two at a time (and through Bufs),
+// so Not(Not(x)) consumers read x directly. The intermediate inverters
+// go dead and are removed by Compact. Returns the number of references
+// rewritten.
+func (n *Network) ElimInvPairs() int {
+	// resolve follows Buf edges and cancels Not-Not pairs (with Bufs
+	// allowed between the two inverters) until a fixed point. Chains are
+	// short in practice; memoization isn't worth it. No gates are
+	// created — an odd-length inverter chain resolves to its deepest
+	// surviving Not.
+	var resolve func(int) int
+	resolve = func(id int) int {
+		g := &n.Gates[id]
+		switch g.Type {
+		case Buf:
+			return resolve(g.Fanins[0])
+		case Not:
+			f := g.Fanins[0]
+			for n.Gates[f].Type == Buf {
+				f = n.Gates[f].Fanins[0]
+			}
+			if n.Gates[f].Type == Not {
+				return resolve(n.Gates[f].Fanins[0])
+			}
+		}
+		return id
+	}
+	changed := 0
+	for _, id := range n.TopoOrder() {
+		g := &n.Gates[id]
+		if g.Type == PI || g.Type == Const0 || g.Type == Const1 {
+			continue
+		}
+		for i, f := range g.Fanins {
+			if r := resolve(f); r != f {
+				g.Fanins[i] = r
+				changed++
+			}
+		}
+	}
+	for i := range n.POs {
+		if r := resolve(n.POs[i].Gate); r != n.POs[i].Gate {
+			n.POs[i].Gate = r
+			changed++
+		}
+	}
+	if changed > 0 {
+		n.strash = nil
+	}
+	return changed
+}
+
+// RebalanceXorTrees flattens chains of single-fanout XOR gates into one
+// multi-operand XOR and rebuilds it as a balanced tree of consed 2-input
+// gates. Cancellation across the whole chain (the same leaf reaching the
+// root twice) falls out of the canonicalization, so a rebalanced tree
+// never costs more gates than the chain it replaces. The root gate's ID
+// is preserved; interior chain gates go dead (Compact removes them).
+// Returns the number of trees rebuilt.
+//
+// Run this only after redundancy analysis: the Section 4 XOR pairing in
+// factor deliberately shapes its trees so redund finds reducible gates.
+func (n *Network) RebalanceXorTrees() int {
+	fanoutCount := make([]int, len(n.Gates))
+	poRef := make([]bool, len(n.Gates))
+	for _, g := range n.Gates {
+		for _, f := range g.Fanins {
+			fanoutCount[f]++
+		}
+	}
+	for _, po := range n.POs {
+		poRef[po.Gate] = true
+	}
+	// internal: an XOR absorbed into its sole consumer's operand list.
+	internal := func(id int) bool {
+		g := &n.Gates[id]
+		return (g.Type == Xor || g.Type == Xnor) && fanoutCount[id] == 1 && !poRef[id]
+	}
+	rebuilt := 0
+	for _, id := range n.TopoOrder() { // snapshot: new gates appended below aren't revisited
+		g := &n.Gates[id]
+		if g.Type != Xor && g.Type != Xnor {
+			continue
+		}
+		if internal(id) {
+			continue // will be absorbed into its consumer's tree
+		}
+		// Collect leaves by expanding internal XOR fanins. Xnor flips
+		// the collected polarity.
+		invert := g.Type == Xnor
+		var leaves []int
+		var expand func(int)
+		expand = func(f int) {
+			if internal(f) {
+				fg := &n.Gates[f]
+				if fg.Type == Xnor {
+					invert = !invert
+				}
+				for _, ff := range fg.Fanins {
+					expand(ff)
+				}
+				return
+			}
+			leaves = append(leaves, f)
+		}
+		for _, f := range g.Fanins {
+			expand(f)
+		}
+		if len(leaves) == len(g.Fanins) && (g.Type == Xnor) == invert {
+			continue // already flat
+		}
+		t := Xor
+		if invert {
+			t = Xnor
+		}
+		ct, cf, collapse := n.canonGate(t, leaves)
+		switch {
+		case collapse >= 0:
+			g.Type, g.Fanins = Buf, []int{collapse}
+		case len(cf) == 0: // constant
+			g.Type, g.Fanins = ct, nil
+		case ct == Not:
+			g.Type, g.Fanins = Not, cf
+		default:
+			// Build the balanced tree with consed 2-input XORs, keeping
+			// the root's ID: pair down to two operands, then write the
+			// final 2-input gate into the root in place. Reused existing
+			// gates are sound here: their cones contain only leaves (or
+			// gates below them), never this root.
+			ids := cf
+			for len(ids) > 2 {
+				var next []int
+				for i := 0; i+1 < len(ids); i += 2 {
+					next = append(next, n.AddGate(Xor, ids[i], ids[i+1]))
+				}
+				if len(ids)%2 == 1 {
+					next = append(next, ids[len(ids)-1])
+				}
+				ids = next
+			}
+			g = &n.Gates[id] // re-take: AddGate may have grown the slice
+			g.Type, g.Fanins = ct, ids
+		}
+		rebuilt++
+	}
+	if rebuilt > 0 {
+		n.strash = nil
+	}
+	return rebuilt
+}
+
+// Compact drops every gate outside the PIs ∪ PO-cone set and renumbers
+// the survivors densely (topological order: fanins before fanouts, PIs
+// in declaration order first among themselves). Strash and the cleanup
+// passes leave merged-away gates behind; Compact reclaims them so
+// len(Gates) again reflects live logic. Returns the number of gates
+// removed.
+func (n *Network) Compact() int {
+	order := n.TopoOrder()
+	if len(order) == len(n.Gates) {
+		return 0
+	}
+	remap := make([]int, len(n.Gates))
+	for i := range remap {
+		remap[i] = -1
+	}
+	gates := make([]Gate, 0, len(order))
+	for _, id := range order {
+		g := n.Gates[id]
+		newID := len(gates)
+		remap[id] = newID
+		fins := make([]int, len(g.Fanins))
+		for i, f := range g.Fanins {
+			fins[i] = remap[f] // fanins precede fanouts in topo order
+		}
+		gates = append(gates, Gate{ID: newID, Type: g.Type, Fanins: fins, Name: g.Name})
+	}
+	removed := len(n.Gates) - len(gates)
+	n.Gates = gates
+	for i, pi := range n.PIs {
+		n.PIs[i] = remap[pi]
+	}
+	for i := range n.POs {
+		n.POs[i].Gate = remap[n.POs[i].Gate]
+	}
+	n.strash = nil
+	return removed
+}
+
+// Canonical returns a fresh, fully hash-consed copy of the network:
+// every cone gate is re-added through AddGate in topological order, so
+// the result is compact (no dead gates), canonically ordered, and free
+// of buffers, double negations, and duplicate structure — regardless of
+// how the receiver was built or mutated. PI/PO names and order are
+// preserved. The receiver is not modified.
+func (n *Network) Canonical() *Network {
+	out := New(n.Name)
+	remap := make([]int, len(n.Gates))
+	for i := range remap {
+		remap[i] = -1
+	}
+	for _, pi := range n.PIs {
+		remap[pi] = out.AddPI(n.Gates[pi].Name)
+	}
+	for _, id := range n.TopoOrder() {
+		g := &n.Gates[id]
+		if g.Type == PI {
+			continue
+		}
+		fins := make([]int, len(g.Fanins))
+		for i, f := range g.Fanins {
+			fins[i] = remap[f]
+		}
+		remap[id] = out.AddGate(g.Type, fins...)
+	}
+	for _, po := range n.POs {
+		out.AddPO(po.Name, remap[po.Gate])
+	}
+	// A collapse (e.g. a rebuilt Not(Not(x))) can strand the intermediate
+	// gate it was built from; compact so the result is dead-gate-free.
+	out.Compact()
+	return out
 }
 
 // ToBDDs builds the BDD of every PO over a manager with one variable per

@@ -165,22 +165,276 @@ func TestSweepDoubleNegation(t *testing.T) {
 	}
 }
 
-func TestStrashMergesDuplicates(t *testing.T) {
+// rawGate appends a gate without AddGate's canonicalization/consing —
+// the way a deserializer or an in-place optimization pass leaves the
+// gate list. Tests use it to hand Strash real work.
+func rawGate(n *Network, t GateType, fanins ...int) int {
+	id := len(n.Gates)
+	n.Gates = append(n.Gates, Gate{ID: id, Type: t, Fanins: append([]int(nil), fanins...)})
+	return id
+}
+
+func TestAddGateConsesDuplicates(t *testing.T) {
 	n := New("h")
 	a := n.AddPI("a")
 	b := n.AddPI("b")
 	g1 := n.AddGate(And, a, b)
 	g2 := n.AddGate(And, b, a) // same gate, commuted
-	x := n.AddGate(Xor, g1, g2)
+	if g1 != g2 {
+		t.Errorf("AddGate(And,a,b)=%d but AddGate(And,b,a)=%d; want the same gate", g1, g2)
+	}
+	if x := n.AddGate(Xor, g1, g2); n.Gates[x].Type != Const0 {
+		t.Errorf("Xor(g,g) should cons to Const0, got %v", n.Gates[x].Type)
+	}
+	if nn := n.AddGate(Not, n.AddGate(Not, a)); nn != a {
+		t.Errorf("Not(Not(a)) should collapse to a, got %d", nn)
+	}
+	if bf := n.AddGate(Buf, g1); bf != g1 {
+		t.Errorf("Buf(g) should collapse to g, got %d", bf)
+	}
+	if aa := n.AddGate(And, a, a); aa != a {
+		t.Errorf("And(a,a) should collapse to a, got %d", aa)
+	}
+	one := n.AddGate(Const1)
+	if g := n.AddGate(And, a, one, b); g != g1 {
+		t.Errorf("And(a,1,b) should fold onto And(a,b)=%d, got %d", g1, g)
+	}
+	if id, ok := n.FindGate(And, b, a); !ok || id != g1 {
+		t.Errorf("FindGate(And,b,a) = %d,%v; want %d,true", id, ok, g1)
+	}
+	if _, ok := n.FindGate(Or, a, b); ok {
+		t.Error("FindGate found an Or gate that was never created")
+	}
+}
+
+func TestStrashMergesDuplicates(t *testing.T) {
+	n := New("h")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	g1 := n.AddGate(And, a, b)
+	g2 := rawGate(n, And, b, a) // duplicate behind the constructor's back
+	x := rawGate(n, Xor, g1, g2)
 	n.AddPO("o", x)
 	merged := n.Strash()
+	// g2 merges onto g1, and x's fanins then become equal — Strash now
+	// simplifies Xor(g,g) to Const0 in the same pass.
 	if merged != 1 {
 		t.Errorf("merged = %d, want 1", merged)
 	}
-	n.Sweep() // xor of identical fanins -> const0
 	if n.Gates[n.POs[0].Gate].Type != Const0 {
-		t.Errorf("strash+sweep should give Const0, got %v", n.Gates[n.POs[0].Gate].Type)
+		t.Errorf("strash should give Const0, got %v", n.Gates[n.POs[0].Gate].Type)
 	}
+}
+
+// Satellite regression: gates whose fanins become equal after a
+// replacement must simplify (And(a,a)→a, Or(a,a)→a, Xor(a,a)→0) instead
+// of surviving as degenerate two-input gates.
+func TestStrashSimplifiesEqualFaninsAfterReplacement(t *testing.T) {
+	for _, tc := range []struct {
+		typ  GateType
+		want func(n *Network, po int, a int) bool
+		desc string
+	}{
+		{And, func(n *Network, po, a int) bool { return po == a }, "And(a,a) -> a"},
+		{Or, func(n *Network, po, a int) bool { return po == a }, "Or(a,a) -> a"},
+		{Xor, func(n *Network, po, a int) bool { return n.Gates[po].Type == Const0 }, "Xor(a,a) -> 0"},
+	} {
+		n := New("e")
+		a := n.AddPI("a")
+		b := n.AddPI("b")
+		g1 := n.AddGate(Not, a)
+		_ = b
+		g2 := rawGate(n, Not, a) // duplicate inverter
+		g := rawGate(n, tc.typ, g1, g2)
+		n.AddPO("o", g)
+		n.Strash()
+		// After g2 merges onto g1 the gate's fanins are (g1, g1).
+		if !tc.want(n, n.POs[0].Gate, g1) {
+			t.Errorf("%s failed: PO gate %d (%v)", tc.desc, n.POs[0].Gate, n.Gates[n.POs[0].Gate].Type)
+		}
+	}
+}
+
+// Satellite regression: equivalent gates hidden behind Buf chains must
+// merge — Strash looks through buffers.
+func TestStrashLooksThroughBuffers(t *testing.T) {
+	n := New("b")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	g1 := n.AddGate(And, a, b)
+	buf := rawGate(n, Buf, a)
+	g2 := rawGate(n, And, buf, b) // same as g1, but behind a buffer
+	x := rawGate(n, Xor, g1, g2)
+	n.AddPO("o", x)
+	n.Strash()
+	if n.Gates[n.POs[0].Gate].Type != Const0 {
+		t.Errorf("gates behind buffers did not merge: PO is %v", n.Gates[n.POs[0].Gate].Type)
+	}
+}
+
+// Satellite regression: Strash cancels double negations left by in-place
+// passes.
+func TestStrashCancelsDoubleNegation(t *testing.T) {
+	n := New("nn")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	g := n.AddGate(And, a, b)
+	n1 := rawGate(n, Not, g)
+	n2 := rawGate(n, Not, n1)
+	n.AddPO("o", n2)
+	n.Strash()
+	if n.POs[0].Gate != g {
+		t.Errorf("Not(Not(g)) should strash to g=%d, got %d", g, n.POs[0].Gate)
+	}
+}
+
+func TestGateTypeStringFallback(t *testing.T) {
+	if s := And.String(); s != "and" {
+		t.Errorf("And.String() = %q", s)
+	}
+	if s := GateType(99).String(); s != "gatetype(99)" {
+		t.Errorf("GateType(99).String() = %q, want \"gatetype(99)\"", s)
+	}
+	if s := GateType(-1).String(); s != "gatetype(-1)" {
+		t.Errorf("GateType(-1).String() = %q, want \"gatetype(-1)\"", s)
+	}
+}
+
+// Satellite regression: stats are cone-reachable-only even when merged
+// or dangling gates linger in Gates, and Compact removes them.
+func TestCompactRemovesDeadGates(t *testing.T) {
+	n := New("c")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	g1 := n.AddGate(And, a, b)
+	g2 := rawGate(n, And, b, a)
+	x := rawGate(n, Or, g1, g2)
+	n.AddPO("o", x)
+	n.Strash() // merges g2 away and collapses Or(g1,g1) -> g1
+	if got := n.CollectStats(); got.Gates2 != 1 {
+		t.Errorf("stats over cone = %+v, want Gates2=1 (dead gates must not count)", got)
+	}
+	removed := n.Compact()
+	if removed != 2 {
+		t.Errorf("Compact removed %d gates, want 2", removed)
+	}
+	if len(n.Gates) != 3 {
+		t.Errorf("len(Gates) = %d after Compact, want 3 (2 PIs + 1 And)", len(n.Gates))
+	}
+	for i, g := range n.Gates {
+		if g.ID != i {
+			t.Errorf("gate %d has ID %d after renumbering", i, g.ID)
+		}
+	}
+	if got := n.CollectStats(); got.Gates2 != 1 {
+		t.Errorf("stats after Compact = %+v, want Gates2=1", got)
+	}
+}
+
+func TestElimInvPairs(t *testing.T) {
+	n := New("i")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	n1 := rawGate(n, Not, a)
+	n2 := rawGate(n, Not, n1)
+	g := rawGate(n, And, n2, b) // And(Not(Not(a)), b) = And(a, b)
+	n.AddPO("o", g)
+	if changed := n.ElimInvPairs(); changed == 0 {
+		t.Fatal("ElimInvPairs found nothing to rewrite")
+	}
+	if got := n.Gates[g].Fanins[0]; got != a {
+		t.Errorf("fanin after inverter-pair elimination = %d, want PI %d", got, a)
+	}
+	// Buf between the two inverters must not hide the pair.
+	m := New("ib")
+	p := m.AddPI("p")
+	i1 := rawGate(m, Not, p)
+	bf := rawGate(m, Buf, i1)
+	i2 := rawGate(m, Not, bf)
+	m.AddPO("o", i2)
+	m.ElimInvPairs()
+	if m.POs[0].Gate != p {
+		t.Errorf("Not(Buf(Not(p))) should resolve to p, got %d", m.POs[0].Gate)
+	}
+}
+
+func TestRebalanceXorTrees(t *testing.T) {
+	n := New("x")
+	var pis []int
+	for i := 0; i < 8; i++ {
+		pis = append(pis, n.AddPI(""))
+	}
+	// Build a maximally skewed XOR chain: (((p0^p1)^p2)^...)^p7.
+	root := pis[0]
+	for _, p := range pis[1:] {
+		root = rawGate(n, Xor, root, p)
+	}
+	n.AddPO("o", root)
+	if rebuilt := n.RebalanceXorTrees(); rebuilt != 1 {
+		t.Fatalf("rebuilt = %d, want 1", rebuilt)
+	}
+	n.Compact()
+	depth := make([]int, len(n.Gates))
+	xors := 0
+	for _, id := range n.TopoOrder() {
+		g := &n.Gates[id]
+		if g.Type == Xor {
+			xors++
+		}
+		for _, f := range g.Fanins {
+			if depth[f]+1 > depth[id] {
+				depth[id] = depth[f] + 1
+			}
+		}
+	}
+	if xors != 7 {
+		t.Errorf("rebalanced tree has %d XORs, want 7 (same gate count as the chain)", xors)
+	}
+	if d := depth[n.POs[0].Gate]; d != 3 {
+		t.Errorf("depth after rebalance = %d, want log2(8) = 3", d)
+	}
+	// Cancellation across the chain: x ^ a ^ x = a.
+	m := New("xc")
+	a := m.AddPI("a")
+	x := m.AddPI("x")
+	c1 := rawGate(m, Xor, x, a)
+	c2 := rawGate(m, Xor, c1, x)
+	m.AddPO("o", c2)
+	m.RebalanceXorTrees()
+	m.Sweep()
+	if m.POs[0].Gate != a {
+		t.Errorf("x^a^x should rebalance to a, got gate %d (%v)", m.POs[0].Gate, m.Gates[m.POs[0].Gate].Type)
+	}
+}
+
+func TestCanonicalRebuild(t *testing.T) {
+	n := New("c")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	g1 := n.AddGate(And, a, b)
+	g2 := rawGate(n, And, b, a)
+	n1 := rawGate(n, Not, g2)
+	n2 := rawGate(n, Not, n1)
+	n.AddPO("o", n2)
+	c := n.Canonical()
+	if len(c.Gates) != 3 {
+		t.Errorf("canonical form has %d gates, want 3 (2 PIs + 1 And)", len(c.Gates))
+	}
+	if c.POs[0].Name != "o" {
+		t.Errorf("PO name lost: %q", c.POs[0].Name)
+	}
+	m := bdd.New(2)
+	before := n.ToBDDs(m)
+	after := c.ToBDDs(m)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("Canonical changed output %d", i)
+		}
+	}
+	if len(n.Gates) != 6 {
+		t.Errorf("receiver mutated: %d gates", len(n.Gates))
+	}
+	_ = g1
 }
 
 func TestToBDDsMatchesEval(t *testing.T) {
@@ -254,7 +508,13 @@ func randomNetwork(rng *rand.Rand, nPIs, nGates int) *Network {
 		n.AddGate(t, fanins...)
 	}
 	n.AddPO("o", len(n.Gates)-1)
-	n.AddPO("p", len(n.Gates)-1-rng.Intn(nGates/2+1))
+	// Consing can collapse most requested gates onto existing ones, so
+	// clamp the second PO into the valid ID range.
+	p := len(n.Gates) - 1 - rng.Intn(nGates/2+1)
+	if p < 0 {
+		p = 0
+	}
+	n.AddPO("p", p)
 	return n
 }
 

@@ -3,9 +3,11 @@ package network
 import "repro/internal/sop"
 
 // FromPLA builds the two-level OR-of-ANDs network of a parsed PLA: one
-// AND gate per product term (complemented literals through a shared NOT
-// per input), one OR gate per output. This is the canonical import shape
-// for espresso-format specifications, shared by rmsyn and rmsynd.
+// AND gate per product term, one OR gate per output. Hash-consed
+// construction shares complemented literals (one NOT per input) and
+// identical product terms across outputs automatically. This is the
+// canonical import shape for espresso-format specifications, shared by
+// rmsyn and rmsynd.
 func FromPLA(p *sop.PLA) *Network {
 	name := p.Name
 	if name == "" {
@@ -16,17 +18,11 @@ func FromPLA(p *sop.PLA) *Network {
 	for i := range pis {
 		pis[i] = net.AddPI(p.InNames[i])
 	}
-	notCache := map[int]int{}
 	lit := func(v int, phase bool) int {
 		if phase {
 			return pis[v]
 		}
-		if g, ok := notCache[v]; ok {
-			return g
-		}
-		g := net.AddGate(Not, pis[v])
-		notCache[v] = g
-		return g
+		return net.AddGate(Not, pis[v])
 	}
 	for o, c := range p.Covers {
 		var terms []int

@@ -93,15 +93,16 @@ func functionalSignature(spec *network.Network, nodeCap int) (string, bool) {
 	return "f:" + hex.EncodeToString(h.Sum(nil)), true
 }
 
-// structuralSignature hashes the swept, strashed netlist in topological
-// order with canonical gate renumbering. It identifies structurally
-// equal specs (same file, reformatted file, same generator output), not
-// functionally equal ones — the best the cache can do once BDDs are out
+// structuralSignature hashes the canonical hash-consed rebuild of the
+// netlist in topological order with canonical gate renumbering
+// (network.Canonical: constants folded, buffers and double negations
+// gone, commutative fanins sorted, duplicate structure merged). It
+// identifies structurally equal specs — same file, reformatted file,
+// same generator output, renamed-but-identical internal signals — not
+// functionally equal ones: the best the cache can do once BDDs are out
 // of reach.
 func structuralSignature(spec *network.Network) string {
-	net := spec.Clone()
-	net.Sweep()
-	net.Strash()
+	net := spec.Canonical()
 	h := sha256.New()
 	hashInterface(h, net)
 	renum := make(map[int]uint32, len(net.Gates))

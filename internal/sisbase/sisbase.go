@@ -137,9 +137,13 @@ func Run(ctx context.Context, spec *network.Network, opt Options) (*Result, erro
 		prev = lits
 	}
 	out := net.Decompose()
+	// Hash-consed construction already keeps Decompose's output canonical;
+	// Sweep+Strash mop up the PO-level indirections and Compact reclaims
+	// anything the merges left dead.
 	out.Sweep()
 	out.Strash()
 	out.Sweep()
+	out.Compact()
 	res := &Result{Network: out, Stats: out.CollectStats(), Elapsed: time.Since(start), Stopped: stopped}
 	return res, nil
 }
@@ -524,8 +528,7 @@ func (n *Net) Simplify() {
 // Decompose builds the final 2-input AND/OR gate network.
 func (n *Net) Decompose() *network.Network {
 	out := network.New(n.Name + "_sis")
-	gate := make(map[int]int)    // node -> gate (positive phase)
-	invGate := make(map[int]int) // node -> NOT gate
+	gate := make(map[int]int) // node -> gate (positive phase)
 	for _, pi := range n.PIs {
 		gate[pi] = out.AddPI(n.Nodes[pi].Name)
 	}
@@ -540,12 +543,8 @@ func (n *Net) Decompose() *network.Network {
 		if phase {
 			return g
 		}
-		if ng, ok := invGate[v]; ok {
-			return ng
-		}
-		ng := out.AddGate(network.Not, g)
-		invGate[v] = ng
-		return ng
+		// Hash-consed: the network shares one NOT per driver.
+		return out.AddGate(network.Not, g)
 	}
 	for _, id := range n.liveOrder() {
 		nd := n.Nodes[id]
