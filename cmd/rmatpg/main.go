@@ -40,6 +40,7 @@ func main() {
 		maxNodes   = flag.Int("max-nodes", 0, "BDD/OFDD node budget (0 = none)")
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "derivation worker count (per-output FPRM fan-out)")
 		retry      = flag.Float64("retry-factor", core.DefaultOptions().RetryFactor, "budget scale for the ladder's one retry of a transiently tripped output (0 = no retry)")
+		basisF     = flag.String("basis", core.DefaultOptions().Basis.String(), "synthesis basis: auto | xor | sop | race")
 		pprofPfx   = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles")
 	)
 	flag.Parse()
@@ -84,6 +85,12 @@ func main() {
 		defer cancel()
 	}
 	opt := core.DefaultOptions()
+	basis, err := core.ParseBasis(*basisF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmatpg:", err)
+		os.Exit(1)
+	}
+	opt.Basis = basis
 	opt.MaxBDDNodes = *maxNodes
 	opt.MaxOFDDNodes = *maxNodes
 	opt.Workers = *jobs

@@ -58,6 +58,7 @@ func main() {
 		arith    = flag.Bool("arith", false, "arithmetic circuits only")
 		csvPath  = flag.String("csv", "", "also write CSV to this file")
 		method   = flag.Int("method", 1, "factorization method: 1 = cube, 2 = OFDD")
+		basisF   = flag.String("basis", core.DefaultOptions().Basis.String(), "synthesis basis: auto | xor | sop | race")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget per circuit (0 = none)")
 		maxNodes = flag.Int("max-nodes", 0, "BDD/OFDD node budget per circuit (0 = none)")
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "derivation worker count (per-output FPRM fan-out)")
@@ -86,6 +87,11 @@ func main() {
 
 	opt := bench.DefaultOptions()
 	opt.Core.Method = core.Method(*method)
+	basis, err := core.ParseBasis(*basisF)
+	if err != nil {
+		fail(err)
+	}
+	opt.Core.Basis = basis
 	opt.Core.RetryFactor = *retry
 	opt.Ctx = sigCtx
 	opt.Timeout = *timeout

@@ -49,6 +49,7 @@ func main() {
 		plaIn     = flag.String("pla", "", "input espresso PLA file")
 		method    = flag.Int("method", 1, "factorization method: 1 = cube, 2 = OFDD")
 		polarity  = flag.String("polarity", "greedy", "FPRM polarity search: positive | greedy | exhaustive")
+		basisFlag = flag.String("basis", core.DefaultOptions().Basis.String(), "synthesis basis: auto | xor | sop | race")
 		noRules   = flag.Bool("no-rules", false, "disable the Section 3 reduction rules")
 		noRedund  = flag.Bool("no-redund", false, "disable the Section 4 redundancy removal")
 		baseline  = flag.Bool("baseline", false, "also run the SIS-like SOP baseline")
@@ -112,6 +113,11 @@ func main() {
 	default:
 		fail(exitUsage, fmt.Errorf("unknown polarity strategy %q", *polarity))
 	}
+	b, err := core.ParseBasis(*basisFlag)
+	if err != nil {
+		fail(exitUsage, err)
+	}
+	opt.Basis = b
 	opt.Rules = !*noRules
 	opt.Redund = !*noRedund
 	opt.Verify = *doVerify
@@ -163,8 +169,8 @@ func main() {
 	if res.Workers > 0 {
 		workerNote = fmt.Sprintf(", %d workers", res.Workers)
 	}
-	fmt.Fprintf(out, "ours:     %4d 2-input gates, %4d lits, %d XOR gates (%.3fs%s)\n",
-		res.Stats.Gates2, res.Stats.Lits, res.Stats.XORs, res.Elapsed.Seconds(), workerNote)
+	fmt.Fprintf(out, "ours:     %4d 2-input gates, %4d lits, %d XOR gates (%.3fs%s, basis=%s)\n",
+		res.Stats.Gates2, res.Stats.Lits, res.Stats.XORs, res.Elapsed.Seconds(), workerNote, res.Basis)
 	for _, pt := range res.PhaseTimes {
 		fmt.Fprintf(out, "          phase %-8s %s\n", pt.Name, pt.Elapsed.Round(time.Microsecond))
 	}

@@ -51,6 +51,10 @@ type Row struct {
 	Workers    int
 	OursPhases string
 
+	// Basis is the synthesis basis the flow ran under ("xor", "sop",
+	// "auto", "race"), from core.Result.
+	Basis string
+
 	// Report is the full observability report of the paper's flow, with
 	// volatile fields stripped; nil unless Options.Stats was set.
 	Report *core.RunStats
@@ -152,6 +156,7 @@ func RunCircuit(c Circuit, opt Options) Row {
 	row.OursTime = oursRes.Elapsed
 	row.Workers = oursRes.Workers
 	row.OursPhases = renderPhases(oursRes.PhaseTimes)
+	row.Basis = oursRes.Basis
 	if opt.Stats {
 		// Volatile fields are stripped so reports of the same rev diff
 		// cleanly; wall-clock lives in the CSV columns instead.
@@ -287,17 +292,17 @@ func WriteTable(w io.Writer, rows []Row, arith, all Row) {
 // WriteCSVRow it lets callers stream rows as circuits complete, so an
 // interrupt or a late failure keeps every finished row on disk.
 func WriteCSVHeader(w io.Writer) error {
-	_, err := fmt.Fprintln(w, "circuit,in,out,arith,sis_lits,sis_time_s,ours_lits,ours_time_s,sis_gates,sis_map_lits,ours_gates,ours_map_lits,improve_lits_pct,improve_power_pct,workers,ours_phases,verified,note")
+	_, err := fmt.Fprintln(w, "circuit,in,out,arith,sis_lits,sis_time_s,ours_lits,ours_time_s,sis_gates,sis_map_lits,ours_gates,ours_map_lits,improve_lits_pct,improve_power_pct,workers,ours_phases,basis,verified,note")
 	return err
 }
 
 // WriteCSVRow renders one row in the WriteCSVHeader column order.
 func WriteCSVRow(w io.Writer, r Row) error {
-	_, err := fmt.Fprintf(w, "%s,%d,%d,%t,%d,%.4f,%d,%.4f,%d,%d,%d,%d,%.2f,%.2f,%d,%q,%t,%q\n",
+	_, err := fmt.Fprintf(w, "%s,%d,%d,%t,%d,%.4f,%d,%.4f,%d,%d,%d,%d,%.2f,%.2f,%d,%q,%s,%t,%q\n",
 		r.Name, r.In, r.Out, r.Arith,
 		r.SISLits, r.SISTime.Seconds(), r.OursLits, r.OursTime.Seconds(),
 		r.SISGates, r.SISMapLits, r.OursGates, r.OursMapLits,
-		r.ImproveLits, r.ImprovePower, r.Workers, r.OursPhases, r.Verified, r.Note)
+		r.ImproveLits, r.ImprovePower, r.Workers, r.OursPhases, r.Basis, r.Verified, r.Note)
 	return err
 }
 

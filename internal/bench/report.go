@@ -38,6 +38,9 @@ type CircuitReport struct {
 	Degradations int    `json:"degradations"`
 	Verified     bool   `json:"verified"`
 	Err          string `json:"error,omitempty"`
+	// Basis is the synthesis basis the flow ran under. Informational:
+	// the gate compares costs, not routing.
+	Basis string `json:"basis,omitempty"`
 	// Run is the full observability report (phase times, cache hit
 	// rates, rule counts, ladder detail); volatile fields are stripped
 	// so reports diff cleanly.
@@ -60,6 +63,7 @@ func BuildReport(rows []Row) *Report {
 			MapLits:  r.OursMapLits,
 			Verified: r.Verified,
 			Err:      r.Err,
+			Basis:    r.Basis,
 			Run:      r.Report,
 		}
 		if r.Report != nil {

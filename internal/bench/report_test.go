@@ -157,6 +157,10 @@ func TestGateCatchesWorsenedFlow(t *testing.T) {
 			}
 			opt := DefaultOptions()
 			opt.Stats = true
+			// Pin the pure GF(2) flow: under the default auto basis the
+			// arbiter would mask the worsening by keeping the unaffected
+			// SOP arm, and this test is about the gate, not the arbiter.
+			opt.Core.Basis = core.BasisXor
 			good := RunCircuit(c, opt)
 			if good.Err != "" {
 				t.Fatalf("baseline run failed: %s", good.Err)

@@ -1,0 +1,136 @@
+package budget
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Both arms of a hedge draw from one step counter: the cap is spent by
+// their combined work, not per arm.
+func TestHedgeArmsShareSteps(t *testing.T) {
+	b := New(context.Background(), Limits{Steps: 10})
+	h := b.Hedge()
+	defer h.Stop()
+	a0, a1 := h.Arm(0), h.Arm(1)
+	for i := 0; i < 5; i++ {
+		a0.Step("x")
+	}
+	err := Guard(func() {
+		for i := 0; i < 10; i++ {
+			a1.Step("y")
+		}
+	})
+	be, ok := err.(*Err)
+	if !ok || be.Limit != "steps" {
+		t.Fatalf("want steps trip on arm 1 after combined 10 steps, got %v", err)
+	}
+	if b.Steps() != 11 {
+		t.Fatalf("shared counter = %d, want 11", b.Steps())
+	}
+	// The trip is globally sticky: the parent slice fails fast too.
+	if err := b.Exceeded(); err == nil {
+		t.Fatal("parent should observe the sticky steps trip")
+	}
+}
+
+// Cancelling one arm's context is that arm's private failure: the
+// sibling and the parent slice keep running.
+func TestHedgeArmCancellationIsLocal(t *testing.T) {
+	b := New(context.Background(), Limits{})
+	h := b.Hedge()
+	defer h.Stop()
+	a0, a1 := h.Arm(0), h.Arm(1)
+	h.cancels[0]()
+	err := Guard(func() {
+		// checkMask-amortized: enough steps to hit the clock check.
+		for i := 0; i < 1024; i++ {
+			a0.Step("x")
+		}
+	})
+	be, ok := err.(*Err)
+	if !ok || be.Limit != "canceled" {
+		t.Fatalf("cancelled arm: want canceled trip, got %v", err)
+	}
+	if err := a0.Exceeded(); err == nil {
+		t.Fatal("cancelled arm should stay tripped (arm-local sticky)")
+	}
+	if err := a1.Exceeded(); err != nil {
+		t.Fatalf("sibling arm poisoned by arm-0 cancellation: %v", err)
+	}
+	if err := b.Exceeded(); err != nil {
+		t.Fatalf("parent poisoned by arm-0 cancellation: %v", err)
+	}
+	if err := Guard(func() {
+		for i := 0; i < 1024; i++ {
+			a1.Step("y")
+		}
+	}); err != nil {
+		t.Fatalf("sibling arm cannot step after arm-0 cancellation: %v", err)
+	}
+}
+
+// Parent-context cancellation reaches both arms (derived contexts).
+func TestHedgeParentCancellationReachesArms(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(ctx, Limits{})
+	h := b.Hedge()
+	defer h.Stop()
+	cancel()
+	for i, a := range [...]*Budget{h.Arm(0), h.Arm(1)} {
+		if err := a.Exceeded(); err == nil {
+			t.Fatalf("arm %d does not observe parent cancellation", i)
+		}
+	}
+}
+
+// Win is a no-op without a wall-clock deadline: deadline-free runs are
+// the determinism domain, and both arms must run to completion there.
+func TestHedgeWinNoDeadlineNoCancel(t *testing.T) {
+	b := New(context.Background(), Limits{})
+	h := b.Hedge()
+	defer h.Stop()
+	h.Win(0)
+	time.Sleep(5 * time.Millisecond)
+	if err := h.Arm(1).Exceeded(); err != nil {
+		t.Fatalf("loser cancelled without a deadline: %v", err)
+	}
+}
+
+// Under a deadline, Win starts the loser-cancellation countdown and the
+// loser's context is cancelled (arm-locally) once the grace elapses.
+func TestHedgeWinCancelsLoserUnderDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	b := New(ctx, Limits{})
+	h := b.Hedge()
+	defer h.Stop()
+	h.Win(0)
+	deadline := time.Now().Add(2 * time.Second)
+	for h.Arm(1).Exceeded() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("loser arm never cancelled after Win under deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := b.Exceeded(); err != nil {
+		t.Fatalf("loser cancellation leaked into the parent slice: %v", err)
+	}
+}
+
+// A nil budget hands out a nil hedge with nil arms; all of it is a no-op.
+func TestHedgeNilSafe(t *testing.T) {
+	var b *Budget
+	h := b.Hedge()
+	if h != nil {
+		t.Fatal("nil budget should produce a nil hedge")
+	}
+	if a := h.Arm(0); a != nil {
+		t.Fatal("nil hedge should hand out nil arms")
+	}
+	h.Win(0)
+	h.Stop()
+	if ctx := b.Context(); ctx == nil {
+		t.Fatal("nil budget Context must not be nil")
+	}
+}

@@ -110,6 +110,29 @@ type Plan struct {
 	// A pure scheduling perturbation: the merged result must be
 	// bit-identical to an uninjected run.
 	WorkerDelay time.Duration
+
+	// Basis selects the synthesis basis the plan runs under: "xor",
+	// "sop", "auto", or "race" (core.ParseBasis). "" pins the legacy
+	// pure GF(2) flow, keeping every pre-arbiter plan's contract —
+	// including which failures escape as errors — unchanged.
+	Basis string
+
+	// TripArm injects a budget trip ("nodes") inside the named basis
+	// arm ("xor" or "sop") of output ArmOutput; PanicArm injects a
+	// plain panic there instead. Both fire inside the arm's containment
+	// boundary, so under a hedged basis the run must complete with the
+	// sibling arm's verified result and the injection named in the
+	// degradation trail — never an error.
+	TripArm   string
+	PanicArm  string
+	ArmOutput int
+
+	// DelayArm stalls every entry into the named basis arm by ArmDelay.
+	// Like WorkerDelay, a pure scheduling perturbation: arbitration is
+	// a deterministic post-barrier comparison, so the result must be
+	// bit-identical to an uninjected run at the same basis.
+	DelayArm string
+	ArmDelay time.Duration
 }
 
 // Injects reports whether the plan perturbs the run at all (worker
@@ -118,15 +141,23 @@ func (p Plan) Injects() bool {
 	return p.TripAtStep > 0 || p.TripAtPoll > 0 || p.FailBDDAlloc > 0 ||
 		p.FailOFDDAlloc > 0 || p.FailFactorAlloc > 0 ||
 		p.PanicAtPhase != "" || p.CancelAtPhase != "" || p.PanicWorker ||
-		p.WorkerDelay > 0
+		p.WorkerDelay > 0 ||
+		p.TripArm != "" || p.PanicArm != "" || (p.DelayArm != "" && p.ArmDelay > 0)
 }
 
 // ExpectsError reports whether the plan makes Synthesize return an
 // error instead of a degraded network: injected panics are bugs by
 // definition, and the ladder's contract is to surface them, not to
-// absorb them.
+// absorb them. Arm-targeted injections (TripArm/PanicArm) never expect
+// an error — they fire inside the arbiter's per-arm containment
+// boundary, whose contract is the opposite: the sibling arm's verified
+// result covers the cone. A worker panic is likewise contained when a
+// hedged basis gives the cone a sibling arm.
 func (p Plan) ExpectsError() bool {
-	return p.PanicAtPhase != "" || p.PanicWorker
+	if p.PanicAtPhase != "" {
+		return true
+	}
+	return p.PanicWorker && (p.Basis == "" || p.Basis == "xor")
 }
 
 // ScheduleIndependent reports whether the plan's injection schedule is
@@ -224,6 +255,24 @@ func (p Plan) Hooks(cancel context.CancelFunc) *core.ProbeHooks {
 			}
 		}
 	}
+	if p.TripArm != "" || p.PanicArm != "" || (p.DelayArm != "" && p.ArmDelay > 0) {
+		tripArm, panicArm, armOut := p.TripArm, p.PanicArm, p.ArmOutput
+		delayArm, armDelay := p.DelayArm, p.ArmDelay
+		h.Arm = func(basis string, output int) {
+			if basis == delayArm && armDelay > 0 {
+				time.Sleep(armDelay)
+			}
+			if basis == tripArm && output == armOut {
+				// A *budget.Err panic is exactly what a real budget trip
+				// inside the arm looks like; the containment boundary
+				// records it as the arm's failure.
+				panic(&budget.Err{Phase: Marker + "arm", Limit: "nodes", Max: 1, Used: 1})
+			}
+			if basis == panicArm && output == armOut {
+				panic(fmt.Sprintf("%sinjected panic in %s arm of output %d", Marker, basis, output))
+			}
+		}
+	}
 	if p.PanicWorker || p.WorkerDelay > 0 {
 		panicWorker, panicOutput, delay := p.PanicWorker, p.PanicOutput, p.WorkerDelay
 		h.Worker = func(worker, output int) {
@@ -273,6 +322,16 @@ func Plans(numOutputs int) []Plan {
 		{Name: "cancel-fprm", CancelAtPhase: "fprm"},
 		{Name: "cancel-redund", CancelAtPhase: "redund"},
 		{Name: "worker-delay", WorkerDelay: 100 * time.Microsecond},
+		// Arm-targeted faults under the raced basis: killing either arm
+		// of a hedged cone — by budget trip or by panic — must yield the
+		// sibling arm's verified result, truthfully attributed; stalling
+		// one arm must change nothing at all.
+		{Name: "arm-trip-xor", Basis: "race", TripArm: "xor", ArmOutput: 0},
+		{Name: "arm-trip-sop", Basis: "race", TripArm: "sop", ArmOutput: last},
+		{Name: "arm-panic-xor", Basis: "race", PanicArm: "xor", ArmOutput: last},
+		{Name: "arm-panic-sop", Basis: "race", PanicArm: "sop", ArmOutput: 0},
+		{Name: "arm-delay-xor", Basis: "race", DelayArm: "xor", ArmDelay: 100 * time.Microsecond},
+		{Name: "arm-delay-sop", Basis: "race", DelayArm: "sop", ArmDelay: 100 * time.Microsecond},
 	}
 }
 
@@ -289,10 +348,11 @@ func RandomPlans(n int, seed int64, numOutputs int) []Plan {
 	r := rand.New(rand.NewSource(seed))
 	phases := []string{"spec-bdd", "fprm", "factor", "emit", "redund", "merge"}
 	limits := []string{"", "", "nodes", "cubes", "canceled"}
+	arms := []string{"xor", "sop"}
 	ps := make([]Plan, 0, n)
 	for i := 0; i < n; i++ {
 		p := Plan{Name: fmt.Sprintf("rand-%d-%d", seed, i)}
-		switch r.Intn(8) {
+		switch r.Intn(9) {
 		case 0:
 			p.TripAtStep = int64(1 + r.Intn(5000))
 			p.StepOnce = r.Intn(2) == 0
@@ -315,6 +375,17 @@ func RandomPlans(n int, seed int64, numOutputs int) []Plan {
 			p.CancelAtPhase = phases[r.Intn(len(phases))]
 		case 7:
 			p.WorkerDelay = time.Duration(1+r.Intn(200)) * time.Microsecond
+		case 8:
+			p.Basis = "race"
+			if numOutputs > 0 {
+				p.ArmOutput = r.Intn(numOutputs)
+			}
+			arm := arms[r.Intn(len(arms))]
+			if r.Intn(2) == 0 {
+				p.TripArm = arm
+			} else {
+				p.PanicArm = arm
+			}
 		}
 		ps = append(ps, p)
 	}

@@ -23,6 +23,16 @@ func ladderRun(t *testing.T, circuit string, p Plan, mutate func(*core.Options))
 	defer cancel()
 	opt := core.DefaultOptions()
 	opt.Workers = 1
+	// The ladder tests assert the legacy GF(2) ladder unless the plan
+	// names a basis explicitly.
+	opt.Basis = core.BasisXor
+	if p.Basis != "" {
+		b, err := core.ParseBasis(p.Basis)
+		if err != nil {
+			t.Fatalf("plan basis: %v", err)
+		}
+		opt.Basis = b
+	}
 	if p.UseOFDDMethod {
 		opt.Method = core.MethodOFDD
 	}
@@ -147,6 +157,7 @@ func countPolls(t *testing.T, circuit string) int64 {
 	c, _ := bench.ByName(circuit)
 	opt := core.DefaultOptions()
 	opt.Workers = 1
+	opt.Basis = core.BasisXor // match ladderRun's pinned legacy flow
 	opt.Hooks = &core.ProbeHooks{BudgetPoll: func(poll int64) *budget.Err {
 		polls.Store(poll)
 		return nil

@@ -54,6 +54,7 @@ func (v Violation) String() string {
 type outcome struct {
 	fp       fingerprint
 	degs     []core.Degradation
+	choices  []core.BasisChoice
 	err      string
 	escaped  string // non-empty when a panic escaped Synthesize
 	equiv    bool
@@ -61,15 +62,16 @@ type outcome struct {
 }
 
 // fingerprint is the comparable identity of one run's observable
-// output: the emitted network, the full degradation trail, the
-// per-output cube counts, and the error (for injected-panic plans).
-// Two runs with equal fingerprints are bit-identical as far as any
-// caller of Synthesize can tell.
+// output: the emitted network, the full degradation trail, the basis
+// arbitration record, the per-output cube counts, and the error (for
+// injected-panic plans). Two runs with equal fingerprints are
+// bit-identical as far as any caller of Synthesize can tell.
 type fingerprint struct {
-	blif  string
-	degs  string
-	cubes string
-	err   string
+	blif    string
+	degs    string
+	choices string
+	cubes   string
+	err     string
 }
 
 // Sweep enumerates injection plans over bench circuits and checks the
@@ -107,22 +109,32 @@ func Sweep(opt SweepOptions) []Violation {
 		}
 		plans := append(Plans(len(spec.POs)), RandomPlans(opt.RandomPlans, seed, len(spec.POs))...)
 
-		// Uninjected baselines, one per (workers, method) pair a plan can
-		// run under. Their cross-worker identity is itself an invariant.
+		// Uninjected baselines, one per (workers, method, basis) triple a
+		// plan can run under. Their cross-worker identity is itself an
+		// invariant.
 		type bkey struct {
 			workers    int
 			ofddMethod bool
+			basis      string
 		}
-		methods := map[bool]bool{false: true}
+		type combo struct {
+			ofddMethod bool
+			basis      string
+		}
+		combos := map[combo]bool{{false, ""}: true}
+		var comboList []combo
+		comboList = append(comboList, combo{false, ""})
 		for _, p := range plans {
-			if p.UseOFDDMethod {
-				methods[true] = true
+			cb := combo{p.UseOFDDMethod, p.Basis}
+			if !combos[cb] {
+				combos[cb] = true
+				comboList = append(comboList, cb)
 			}
 		}
 		base := map[bkey]fingerprint{}
 		for _, w := range workersList {
-			for om := range methods {
-				out := runOne(c, Plan{Name: "baseline"}, w, om, opt.RetryFactor)
+			for _, cb := range comboList {
+				out := runOne(c, Plan{Name: "baseline", Basis: cb.basis}, w, cb.ofddMethod, opt.RetryFactor)
 				if out.escaped != "" {
 					vs = append(vs, Violation{name, "baseline", w, "no-panic", out.escaped})
 				}
@@ -132,13 +144,13 @@ func Sweep(opt SweepOptions) []Violation {
 				if !out.equiv {
 					vs = append(vs, Violation{name, "baseline", w, "equivalent", out.equivErr})
 				}
-				base[bkey{w, om}] = out.fp
+				base[bkey{w, cb.ofddMethod, cb.basis}] = out.fp
 			}
 		}
-		for om := range methods {
-			ref := base[bkey{workersList[0], om}]
+		for _, cb := range comboList {
+			ref := base[bkey{workersList[0], cb.ofddMethod, cb.basis}]
 			for _, w := range workersList[1:] {
-				if base[bkey{w, om}] != ref {
+				if base[bkey{w, cb.ofddMethod, cb.basis}] != ref {
 					vs = append(vs, Violation{name, "baseline", w, "identical",
 						fmt.Sprintf("baseline differs from -j%d baseline", workersList[0])})
 				}
@@ -150,7 +162,7 @@ func Sweep(opt SweepOptions) []Violation {
 			for _, w := range workersList {
 				out := runOne(c, p, w, p.UseOFDDMethod, opt.RetryFactor)
 				logf("chaos: %s/%s/-j%d: err=%q degradations=%d", name, p.Name, w, out.err, len(out.degs))
-				vs = append(vs, checkRun(name, p, w, poNames, out, base[bkey{w, p.UseOFDDMethod}])...)
+				vs = append(vs, checkRun(name, p, w, poNames, out, base[bkey{w, p.UseOFDDMethod, p.Basis}])...)
 				fps = append(fps, out.fp)
 			}
 			if p.ScheduleIndependent() {
@@ -180,6 +192,18 @@ func runOne(c bench.Circuit, p Plan, workers int, ofddMethod bool, retryFactor f
 	defer cancel()
 	opt := core.DefaultOptions()
 	opt.Workers = workers
+	// "" pins the legacy pure GF(2) flow so pre-arbiter plans keep their
+	// exact contract; a named basis routes through the arbiter.
+	opt.Basis = core.BasisXor
+	if p.Basis != "" {
+		b, berr := core.ParseBasis(p.Basis)
+		if berr != nil {
+			out.err = berr.Error()
+			out.fp = fingerprint{err: out.err}
+			return out
+		}
+		opt.Basis = b
+	}
 	if ofddMethod {
 		opt.Method = core.MethodOFDD
 	}
@@ -198,15 +222,17 @@ func runOne(c bench.Circuit, p Plan, workers int, ofddMethod bool, retryFactor f
 		return out
 	}
 	out.degs = res.Degradations
+	out.choices = res.BasisChoices
 	var blif strings.Builder
 	if werr := res.Network.WriteBLIF(&blif); werr != nil {
 		out.err = "WriteBLIF: " + werr.Error()
 		return out
 	}
 	out.fp = fingerprint{
-		blif:  blif.String(),
-		degs:  fmt.Sprintf("%v", res.Degradations),
-		cubes: fmt.Sprintf("%v", res.CubeCounts),
+		blif:    blif.String(),
+		degs:    fmt.Sprintf("%v", res.Degradations),
+		choices: fmt.Sprintf("%v", res.BasisChoices),
+		cubes:   fmt.Sprintf("%v", res.CubeCounts),
 	}
 	out.equiv, out.equivErr = checkEquivalent(c.Build(), res.Network)
 	return out
@@ -266,10 +292,47 @@ func checkRun(circuit string, p Plan, workers int, poNames []string, out outcome
 	if !p.Injects() {
 		return vs
 	}
-	if p.WorkerDelay > 0 && p.Injects() && onlyDelay(p) {
+	if (p.WorkerDelay > 0 || p.ArmDelay > 0) && onlyDelay(p) {
 		// A pure scheduling perturbation must be invisible.
 		if out.fp != baseFP {
-			bad("delay-identity", "worker delay changed the result")
+			bad("delay-identity", "delay injection changed the result")
+		}
+		return vs
+	}
+	// Arm-targeted faults: the run already proved it completed and
+	// verified; the targeted cone must additionally have fallen to the
+	// sibling arm (never the spec-cone ladder, which is reserved for
+	// both arms failing) and the injection must be named on the
+	// targeted output.
+	if arm := p.TripArm + p.PanicArm; p.TripArm != "" || p.PanicArm != "" {
+		sibling := "sop"
+		if arm == "sop" {
+			sibling = "xor"
+		}
+		if p.ArmOutput >= 0 && p.ArmOutput < len(poNames) {
+			want := poNames[p.ArmOutput]
+			var bc *core.BasisChoice
+			for i := range out.choices {
+				if out.choices[i].Output == want {
+					bc = &out.choices[i]
+					break
+				}
+			}
+			switch {
+			case bc == nil:
+				bad("truthful", fmt.Sprintf("no basis choice recorded for targeted output %q", want))
+			case bc.Chosen != sibling:
+				bad("truthful", fmt.Sprintf("targeted output %q chose %q, want the sibling arm %q", want, bc.Chosen, sibling))
+			}
+			armed := false
+			for _, d := range out.degs {
+				if d.Output == want && d.Stage == arm+"-arm" && strings.Contains(d.Reason, Marker) {
+					armed = true
+				}
+			}
+			if !armed {
+				bad("truthful", fmt.Sprintf("injected %s-arm fault on %q not attributed in degradations: %v", arm, want, out.degs))
+			}
 		}
 		return vs
 	}
@@ -305,10 +368,12 @@ func checkRun(circuit string, p Plan, workers int, poNames []string, out outcome
 	return vs
 }
 
-// onlyDelay reports whether the worker delay is the plan's only
-// injection, making bit-identity with the baseline mandatory.
+// onlyDelay reports whether a delay (worker stagger or arm stall) is
+// the plan's only injection, making bit-identity with the baseline
+// mandatory.
 func onlyDelay(p Plan) bool {
 	q := p
 	q.WorkerDelay = 0
+	q.DelayArm, q.ArmDelay = "", 0
 	return !q.Injects()
 }

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/arbiter"
 	"repro/internal/bdd"
 	"repro/internal/budget"
 	"repro/internal/cube"
@@ -38,6 +39,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ofdd"
 	"repro/internal/redund"
+	"repro/internal/sisbase"
+	"repro/internal/techmap"
 	"repro/internal/verify"
 )
 
@@ -64,6 +67,62 @@ const (
 	PolarityGreedy                     // coordinate-descent cube-count minimization
 	PolarityExhaustive                 // all 2^n vectors (small inputs only)
 )
+
+// Basis selects which synthesis flow handles each output cone: the
+// paper's GF(2) AND/XOR pipeline, the SIS-style AND/OR SOP baseline, a
+// per-cone arbiter that predicts the winner from the spec BDD (hedging
+// both flows when the structure is ambiguous), or a full race of both
+// flows on every cone. The zero value is BasisXor, the pure legacy
+// flow, so existing Options literals are unchanged.
+type Basis int
+
+// Basis selections.
+const (
+	// BasisXor runs the GF(2) FPRM flow on every cone (the paper's flow;
+	// the zero value and the pre-arbiter behaviour).
+	BasisXor Basis = iota
+	// BasisSop runs the SOP baseline flow on every cone.
+	BasisSop
+	// BasisAuto lets the per-cone predictor pick the arm; ambiguous cones
+	// run both arms as a hedge and keep the better verified result.
+	BasisAuto
+	// BasisRace runs both arms on every cone and additionally arbitrates
+	// the final hybrid against the pure-XOR and pure-SOP assemblies, so
+	// the result is never worse (in literals, then gates) than either.
+	BasisRace
+)
+
+// String returns the lower-case basis name used in flags, headers, and
+// reports.
+func (b Basis) String() string {
+	switch b {
+	case BasisXor:
+		return "xor"
+	case BasisSop:
+		return "sop"
+	case BasisAuto:
+		return "auto"
+	case BasisRace:
+		return "race"
+	}
+	return fmt.Sprintf("basis(%d)", int(b))
+}
+
+// ParseBasis parses a -basis flag / X-Rmsynd-Basis header value. The
+// empty string means BasisAuto (the DefaultOptions choice).
+func ParseBasis(s string) (Basis, error) {
+	switch s {
+	case "", "auto":
+		return BasisAuto, nil
+	case "xor":
+		return BasisXor, nil
+	case "sop":
+		return BasisSop, nil
+	case "race":
+		return BasisRace, nil
+	}
+	return 0, fmt.Errorf("%w: unknown basis %q (want auto, xor, sop, or race)", ErrBadOptions, s)
+}
 
 // Options configure the synthesis flow. The zero value is the paper's
 // default configuration except Verify, which callers usually enable.
@@ -100,6 +159,10 @@ type Options struct {
 	// variable v ↦ 2v, negative ↦ 2v+1) so the whole Section 3 machinery
 	// applies unchanged.
 	ESOP bool
+	// Basis selects the per-cone flow (see Basis). The zero value is
+	// BasisXor — the pure GF(2) pipeline, byte-identical to the
+	// pre-arbiter flow; DefaultOptions selects BasisAuto.
+	Basis Basis
 	// NoFallback disables the do-no-harm fallback: by default, when the
 	// FPRM-based result is larger than the (swept, hashed, merged)
 	// specification itself — which happens for functions with
@@ -195,7 +258,8 @@ type ProbeHooks struct {
 	// transient fault that only the retry escapes.
 	FactorOFDDAlloc func() func(nodes int) *budget.Err
 	// Phase is called on entry to every pipeline phase ("setup",
-	// "spec-bdd", "fprm", "factor", "emit", "do-no-harm-prep", "redund",
+	// "spec-bdd", "predict" under BasisAuto, "fprm", "factor", "emit",
+	// "select" under a non-XOR basis, "do-no-harm-prep", "redund",
 	// "merge", "cleanup", "verify"). A panic here exercises the residual
 	// recover boundary; canceling the run's context exercises the ladder.
 	Phase func(name string)
@@ -203,6 +267,12 @@ type ProbeHooks struct {
 	// the worker and output indices, inside the worker goroutine —
 	// injected delays there must not change the merged result.
 	Worker func(worker, output int)
+	// Arm is called at the start of each per-cone basis arm ("xor" or
+	// "sop") with the output index, inside that arm's containment
+	// boundary: when the cone has a sibling arm, a panic or injected
+	// *budget.Err trip here is absorbed as that arm's failure and the
+	// sibling's verified result is kept — not the spec-cone ladder.
+	Arm func(basis string, output int)
 }
 
 // DefaultOptions returns the paper's flow: cube-method factorization with
@@ -219,6 +289,7 @@ func DefaultOptions() Options {
 		Verify:      true,
 		MergeNodes:  true,
 		RetryFactor: 2,
+		Basis:       BasisAuto,
 	}
 }
 
@@ -260,6 +331,11 @@ func (o Options) Validate() error {
 	case PolarityPositive, PolarityGreedy, PolarityExhaustive:
 	default:
 		return fmt.Errorf("%w: unknown Polarity %d", ErrBadOptions, o.Polarity)
+	}
+	switch o.Basis {
+	case BasisXor, BasisSop, BasisAuto, BasisRace:
+	default:
+		return fmt.Errorf("%w: unknown Basis %d", ErrBadOptions, o.Basis)
 	}
 	if o.MaxBDDNodes < 0 || o.MaxOFDDNodes < 0 || o.MaxCubes < 0 || o.MaxSteps < 0 {
 		return fmt.Errorf("%w: negative resource budget (use 0 for unlimited)", ErrBadOptions)
@@ -315,8 +391,8 @@ func (o Options) workers() int {
 // instead, and why.
 type Degradation struct {
 	Output   string // PO name, or "*" for the whole network
-	Stage    string // pipeline stage: "spec-bdd", "fprm", "polarity-search", "factor", "retry", "redund", "merge", "do-no-harm"
-	Fallback string // what ran instead: "swept-spec", "spec-cone", "best-so-far", "skipped", "partial", "retry"
+	Stage    string // pipeline stage: "spec-bdd", "predict", "fprm", "polarity-search", "factor", "retry", "xor-arm", "sop-arm", "redund", "merge", "do-no-harm"
+	Fallback string // what ran instead: "swept-spec", "spec-cone", "best-so-far", "skipped", "partial", "retry", "xor-arm", "sop-arm"
 	Reason   string // the budget error or condition that triggered it
 }
 
@@ -338,6 +414,22 @@ type OutputSpan struct {
 	Elapsed time.Duration // wall-clock time of this output's derivation
 }
 
+// BasisChoice records how one output cone was routed through the basis
+// arbiter: what the predictor said, which arm's result was kept, and the
+// literal cost of each arm (-1 when an arm did not run or failed). A
+// final entry with Output "*" records the network-level arbitration
+// between the hybrid and the pure single-basis assemblies, whenever more
+// than one distinct candidate was available. All fields are
+// deterministic at any worker count.
+type BasisChoice struct {
+	Output    string `json:"output"`           // PO name, or "*" for the network-level arbitration
+	Predicted string `json:"predicted"`        // "xor", "sop", "hedge", "forced"; the basis name for "*"
+	Chosen    string `json:"chosen"`           // "xor", "sop", "spec-cone"; candidate name for "*"
+	XorLits   int    `json:"xor_lits"`         // literal cost of the GF(2) arm (-1 absent/failed)
+	SopLits   int    `json:"sop_lits"`         // literal cost of the SOP arm (-1 absent/failed)
+	Reason    string `json:"reason,omitempty"` // predictor reason, or the failure that forced the choice
+}
+
 // Result is the outcome of a synthesis run.
 type Result struct {
 	Network *network.Network
@@ -357,6 +449,12 @@ type Result struct {
 	// Degradations lists every fallback the graceful-degradation ladder
 	// took, in the order they fired. Empty for a fully unconstrained run.
 	Degradations []Degradation
+	// Basis is the flow basis the run executed with ("xor", "sop",
+	// "auto", "race").
+	Basis string
+	// BasisChoices records the per-cone basis arbitration, in output
+	// order; nil for a BasisXor run (see BasisChoice).
+	BasisChoices []BasisChoice
 	// CubeCounts holds the exact FPRM cube count per output.
 	CubeCounts []int64
 	// ObsStats is the observability snapshot; nil unless Options.Obs was
@@ -440,7 +538,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 		// bottom of the ladder immediately.
 		return fallbackToSpec(spec, opt, perr.Error(), start)
 	}
-	res = &Result{}
+	res = &Result{Basis: opt.Basis.String()}
 	phaseStart := time.Now()
 	markPhase := func(name string) {
 		res.PhaseTimes = append(res.PhaseTimes, PhaseTime{Name: name, Elapsed: time.Since(phaseStart)})
@@ -467,6 +565,68 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 			Output: output, Stage: stage, Fallback: fallback, Reason: reason,
 		})
 	}
+
+	// Per-cone basis routing (see Basis). BasisXor runs the legacy GF(2)
+	// pipeline untouched; the other bases route each output cone to the
+	// GF(2) arm, the SOP arm, or a hedged race of both under sibling
+	// slices of the one run budget. The predict phase is sequential and
+	// read-only on the shared BDD manager, so its decisions are
+	// bit-identical at any worker count.
+	basis := opt.Basis
+	armXor := make([]bool, len(outs))
+	armSop := make([]bool, len(outs))
+	predicted := make([]string, len(outs))
+	predWhy := make([]string, len(outs))
+	switch basis {
+	case BasisSop:
+		for oi := range outs {
+			armSop[oi] = true
+			predicted[oi] = "forced"
+		}
+	case BasisRace:
+		for oi := range outs {
+			armXor[oi], armSop[oi] = true, true
+			predicted[oi] = "forced"
+		}
+	case BasisAuto:
+		enterPhase("predict")
+		cfg := arbiter.DefaultConfig()
+		for oi := range outs {
+			oname := spec.POs[oi].Name
+			if perr := bud.Exceeded(); perr != nil {
+				// No budget left for prediction: the paper's flow.
+				armXor[oi] = true
+				predicted[oi], predWhy[oi] = "xor", "predict skipped: "+perr.Error()
+				degrade(oname, "predict", "xor-arm", perr.Error())
+				continue
+			}
+			var p arbiter.Prediction
+			gerr := budget.Guard(func() { p = arbiter.Predict(bm, outs[oi], cfg) })
+			if gerr != nil {
+				armXor[oi] = true
+				predicted[oi], predWhy[oi] = "xor", "predict failed: "+gerr.Error()
+				degrade(oname, "predict", "xor-arm", gerr.Error())
+				continue
+			}
+			predicted[oi], predWhy[oi] = p.Decision.String(), p.Why
+			switch p.Decision {
+			case arbiter.Sop:
+				armSop[oi] = true
+			case arbiter.Hedge:
+				armXor[oi], armSop[oi] = true, true
+			default:
+				armXor[oi] = true
+			}
+			opt.Obs.Arbiter().Prediction(predicted[oi])
+		}
+		markPhase("predict")
+	default: // BasisXor
+		for oi := range outs {
+			armXor[oi] = true
+			predicted[oi] = "forced"
+		}
+	}
+
 	net := network.New(spec.Name + "_rm")
 	pis := make([]int, nPI)
 	for i, piID := range spec.PIs {
@@ -514,9 +674,48 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 	res.CubeCounts = make([]int64, len(outs))
 	spans := make([]OutputSpan, len(outs))
 	cone := make([]bool, len(outs))
+	// Arm slots. xorFail/sopFail record a contained arm failure (panic,
+	// budget trip, equivalence miss) whose cone falls back to the sibling
+	// arm at selection time rather than down the spec-cone ladder; the
+	// ladder is reached only when every arm of a cone fails. Hedged cones
+	// run both arms under sibling slices of the run budget with
+	// loser-cancellation once a deadline exists (budget.Hedge).
+	xorFail := make([]string, len(outs))
+	sopFail := make([]string, len(outs))
+	sopRes := make([]*sisbase.Result, len(outs))
+	hedges := make([]*budget.Hedge, len(outs))
+	xorBud := make([]*budget.Budget, len(outs))
+	sopBud := make([]*budget.Budget, len(outs))
+	type armJob struct {
+		sop bool
+		oi  int
+	}
+	jobList := make([]armJob, 0, len(outs))
+	for oi := range outs {
+		xorBud[oi], sopBud[oi] = bud, bud
+		if armXor[oi] && armSop[oi] {
+			hedges[oi] = bud.Hedge()
+			xorBud[oi] = hedges[oi].Arm(0)
+			sopBud[oi] = hedges[oi].Arm(1)
+			opt.Obs.Arbiter().HedgeStarted()
+		}
+		if !armXor[oi] {
+			// SOP-only cone: the GF(2) slots stay empty, exactly as a
+			// pure-SOP candidate is later polished (factoring skips the
+			// cone; redundancy removal sees an empty form).
+			res.Forms[oi] = fprm.NewForm(nPI, nil)
+			res.CubeCounts[oi] = -1
+		}
+		if armXor[oi] {
+			jobList = append(jobList, armJob{sop: false, oi: oi})
+		}
+		if armSop[oi] {
+			jobList = append(jobList, armJob{sop: true, oi: oi})
+		}
+	}
 	workers := opt.workers()
-	if workers > len(outs) {
-		workers = len(outs)
+	if workers > len(jobList) {
+		workers = len(jobList)
 	}
 	if workers < 1 {
 		workers = 1
@@ -539,13 +738,27 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 		return nil
 	}
 	deriveOne := func(w, oi int) {
+		abud := xorBud[oi]
+		contained := armSop[oi] // a sibling arm exists to absorb failures
 		spanStart := time.Now()
 		// Residual (non-budget) panics cannot cross the goroutine
 		// boundary to Synthesize's recover; capture them here and
-		// re-raise on the main goroutine after the merge barrier.
+		// re-raise on the main goroutine after the merge barrier — unless
+		// a sibling SOP arm exists, in which case the panic is this arm's
+		// contained failure and the sibling's result covers the cone.
 		defer func() {
 			if r := recover(); r != nil {
-				residual[oi] = r
+				if !contained {
+					residual[oi] = r
+				} else {
+					if be, ok := r.(*budget.Err); ok {
+						xorFail[oi] = be.Error()
+					} else {
+						xorFail[oi] = fmt.Sprintf("panic: %v", r)
+					}
+					res.Forms[oi] = fprm.NewForm(nPI, nil)
+					res.CubeCounts[oi] = -1
+				}
 			}
 			spans[oi] = OutputSpan{
 				Output:  spec.POs[oi].Name,
@@ -557,19 +770,31 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 		if opt.Hooks != nil && opt.Hooks.Worker != nil {
 			opt.Hooks.Worker(w, oi)
 		}
+		if opt.Hooks != nil && opt.Hooks.Arm != nil {
+			opt.Hooks.Arm("xor", oi)
+		}
 		oname := spec.POs[oi].Name
-		if perr := bud.Exceeded(); perr != nil {
+		// fail routes an arm failure: to the sibling arm when one exists
+		// (recorded at selection), else down the spec-cone ladder.
+		fail := func(stage, reason string) {
 			res.Forms[oi] = fprm.NewForm(nPI, nil)
 			res.CubeCounts[oi] = -1
+			if contained {
+				xorFail[oi] = reason
+				return
+			}
 			cone[oi] = true
-			slotDegs[oi] = append(slotDegs[oi], Degradation{oname, "fprm", "spec-cone", perr.Error()})
+			slotDegs[oi] = append(slotDegs[oi], Degradation{oname, stage, "spec-cone", reason})
+		}
+		if perr := abud.Exceeded(); perr != nil {
+			fail("fprm", perr.Error())
 			return
 		}
 		var form *fprm.Form
 		var count int64
 		var isHuge, searchCut bool
 		gerr := budget.Guard(func() {
-			form, count, isHuge, searchCut = deriveForm(bm, outs[oi], opt, bud, searchWorkers, 1, ofddHook(oi), opt.Obs.Output(oi))
+			form, count, isHuge, searchCut = deriveForm(bm, outs[oi], opt, abud, searchWorkers, 1, ofddHook(oi), opt.Obs.Output(oi))
 		})
 		if gerr != nil || isHuge {
 			reason := "OFDD node cap exceeded"
@@ -584,13 +809,16 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 				slotDegs[oi] = append(slotDegs[oi], Degradation{oname, "fprm", "retry", reason})
 				rerr := budget.Guard(func() {
 					form, count, isHuge, searchCut = deriveForm(bm, outs[oi], opt,
-						bud.Relaxed(opt.RetryFactor), searchWorkers, opt.RetryFactor, ofddHook(oi), opt.Obs.Output(oi))
+						abud.Relaxed(opt.RetryFactor), searchWorkers, opt.RetryFactor, ofddHook(oi), opt.Obs.Output(oi))
 				})
 				if rerr == nil && !isHuge {
 					res.Forms[oi] = form
 					res.CubeCounts[oi] = count
 					if searchCut {
 						slotDegs[oi] = append(slotDegs[oi], Degradation{oname, "polarity-search", "best-so-far", "budget exhausted during polarity search"})
+					}
+					if hedges[oi] != nil {
+						hedges[oi].Win(0)
 					}
 					return
 				}
@@ -600,10 +828,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 				}
 				stage = "retry"
 			}
-			res.Forms[oi] = fprm.NewForm(nPI, nil)
-			res.CubeCounts[oi] = -1
-			cone[oi] = true
-			slotDegs[oi] = append(slotDegs[oi], Degradation{oname, stage, "spec-cone", reason})
+			fail(stage, reason)
 			return
 		}
 		if searchCut {
@@ -611,28 +836,88 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 		}
 		res.Forms[oi] = form
 		res.CubeCounts[oi] = count
+		if hedges[oi] != nil {
+			hedges[oi].Win(0)
+		}
+	}
+	// sopOne runs one cone's SOP arm: the SIS-style script on the
+	// extracted spec cone, under the arm's budget slice and context. All
+	// failures are contained — the GF(2) arm or the spec-cone ladder
+	// covers the cone — and the result is verified against the spec BDD
+	// at selection time before it can win.
+	sopOne := func(w, oi int) {
+		spanStart := time.Now()
+		defer func() {
+			if r := recover(); r != nil {
+				if be, ok := r.(*budget.Err); ok {
+					sopFail[oi] = be.Error()
+				} else {
+					sopFail[oi] = fmt.Sprintf("panic: %v", r)
+				}
+			}
+			if !armXor[oi] {
+				spans[oi] = OutputSpan{
+					Output:  spec.POs[oi].Name,
+					Index:   oi,
+					Worker:  w,
+					Elapsed: time.Since(spanStart),
+				}
+			}
+		}()
+		if opt.Hooks != nil && opt.Hooks.Worker != nil {
+			opt.Hooks.Worker(w, oi)
+		}
+		if opt.Hooks != nil && opt.Hooks.Arm != nil {
+			opt.Hooks.Arm("sop", oi)
+		}
+		abud := sopBud[oi]
+		if perr := abud.Exceeded(); perr != nil {
+			sopFail[oi] = perr.Error()
+			return
+		}
+		r, rerr := sisbase.RunCone(abud.Context(), spec, oi, sisbase.DefaultOptions(), abud)
+		if rerr != nil {
+			sopFail[oi] = rerr.Error()
+			return
+		}
+		sopRes[oi] = r
+		if hedges[oi] != nil {
+			hedges[oi].Win(1)
+		}
+	}
+	runJob := func(w int, j armJob) {
+		if j.sop {
+			sopOne(w, j.oi)
+		} else {
+			deriveOne(w, j.oi)
+		}
 	}
 	if workers == 1 {
-		for oi := range outs {
-			deriveOne(0, oi)
+		for _, j := range jobList {
+			runJob(0, j)
 		}
 	} else {
-		jobs := make(chan int)
+		jobs := make(chan armJob)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				for oi := range jobs {
-					deriveOne(w, oi)
+				for j := range jobs {
+					runJob(w, j)
 				}
 			}(w)
 		}
-		for oi := range outs {
-			jobs <- oi
+		for _, j := range jobList {
+			jobs <- j
 		}
 		close(jobs)
 		wg.Wait()
+	}
+	for _, h := range hedges {
+		if h != nil {
+			h.Stop()
+		}
 	}
 	// Deterministic merge: degradations in output order; a residual
 	// panic (a bug, not a budget trip) re-raises into the boundary above.
@@ -646,7 +931,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 	// Record each output's final form size sequentially after the merge
 	// barrier — one deterministic writer per Search group.
 	for oi := range outs {
-		if f := res.Forms[oi]; f != nil && !cone[oi] {
+		if f := res.Forms[oi]; f != nil && armXor[oi] && !cone[oi] && xorFail[oi] == "" {
 			opt.Obs.Output(oi).SetBest(f.Cubes.Len(), listLits(f.Cubes))
 		}
 	}
@@ -668,8 +953,8 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 	cubeMethodCap := effectiveCap(opt.cubeMethodLimit(), bud.Limits().Cubes)
 	exprs := make([]*factor.Expr, len(outs))
 	for _, oi := range orderAsc {
-		if cone[oi] {
-			continue // handled by spec-cone copy below
+		if !armXor[oi] || cone[oi] || xorFail[oi] != "" {
+			continue // no GF(2) arm result to factor; covered at emit/selection
 		}
 		oname := spec.POs[oi].Name
 		if perr := bud.Exceeded(); perr != nil {
@@ -752,29 +1037,49 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 
 	enterPhase("emit")
 	poGate := make([]int, len(outs))
+	emitted := make([]bool, len(outs))
 	for i := len(orderAsc) - 1; i >= 0; i-- {
 		oi := orderAsc[i]
-		if cone[oi] {
+		if !armXor[oi] || cone[oi] || xorFail[oi] != "" {
 			continue
 		}
 		poGate[oi] = em.Emit(exprs[oi])
+		emitted[oi] = true
 	}
 	// Outputs whose functional decision diagrams exploded (Section 6:
 	// the method targets functions with manageable FPRM forms) or whose
-	// budget ran out keep their original cone, copied structurally.
+	// budget ran out keep their original cone, copied structurally. Under
+	// an arbiter basis the same copy also backs a failed GF(2) arm inside
+	// the pure-XOR candidate (the cone itself falls back to the SOP arm).
 	copier := newConeCopier(spec, net, pis)
 	for oi := range outs {
-		if cone[oi] {
+		if armXor[oi] && !emitted[oi] {
 			poGate[oi] = copier.copy(spec.POs[oi].Gate)
 		}
 	}
-	for oi := range outs {
-		net.AddPO(spec.POs[oi].Name, poGate[oi])
+	if basis == BasisXor {
+		for oi := range outs {
+			net.AddPO(spec.POs[oi].Name, poGate[oi])
+		}
+		net.Strash()
+		net.Sweep()
 	}
-
-	net.Strash()
-	net.Sweep()
 	markPhase("emit")
+
+	if basis != BasisXor {
+		// Selection and candidate arbitration of the combined flow; the
+		// legacy tail below is the pure GF(2) path, byte for byte.
+		ar := &arbiterRun{
+			spec: spec, opt: opt, basis: basis, bm: bm, bud: bud,
+			outs: outs, res: res, net: net, poGate: poGate,
+			emitted: emitted, armXor: armXor, armSop: armSop,
+			xorFail: xorFail, sopFail: sopFail, sopRes: sopRes,
+			predicted: predicted, predWhy: predWhy,
+			enterPhase: enterPhase, markPhase: markPhase,
+			degrade: degrade, start: start,
+		}
+		return ar.finish()
+	}
 
 	// Prepare the do-no-harm reference early: when the factored network
 	// is already far larger than the cleaned specification, redundancy
@@ -799,56 +1104,7 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 	}
 	hopeless := specOpt != nil && net.CollectStats().Gates2 > 8*specOpt.CollectStats().Gates2
 
-	enterPhase("redund")
-	if opt.Redund && !hopeless {
-		if perr := bud.Exceeded(); perr != nil {
-			degrade("*", "redund", "skipped", perr.Error())
-		} else {
-			// Snapshot first: a budget trip inside the pass could land
-			// mid-rewrite, and a half-applied candidate must not survive.
-			snap := net.Clone()
-			gerr := budget.Guard(func() {
-				res.Redund = redund.Remove(net, redund.Options{
-					Forms:  res.Forms,
-					Verify: opt.Verify,
-					Budget: bud,
-				})
-			})
-			if gerr != nil {
-				net = snap
-				res.Redund = redund.Result{}
-				degrade("*", "redund", "skipped", gerr.Error())
-			} else if res.Redund.BudgetCut {
-				// The pass stopped early but kept its committed
-				// reductions: weaker optimization, not a fallback
-				// network — still worth a truthful ladder entry.
-				reason := "budget exhausted"
-				if perr := bud.Exceeded(); perr != nil {
-					reason = perr.Error()
-				}
-				degrade("*", "redund", "partial", reason)
-			}
-		}
-	}
-	markPhase("redund")
-	enterPhase("merge")
-	if opt.MergeNodes {
-		// Safe without a snapshot: mutation happens only after the BDD
-		// signature loop, the sole place a budget trip can occur.
-		if gerr := budget.Guard(func() { MergeEquivalentGates(net, bm) }); gerr != nil {
-			degrade("*", "merge", "skipped", gerr.Error())
-		}
-		net.Sweep()
-	}
-	markPhase("merge")
-	// Structural cleanup after the optimization passes: cancel inverter
-	// pairs, rebalance XOR chains (deferred until after redund, whose
-	// Section 4 analysis depends on the factor-phase tree shapes),
-	// re-hash, and compact away everything the merges left dead. Runs
-	// before verify so the equivalence check covers it.
-	enterPhase("cleanup")
-	cleanupNetwork(net)
-	markPhase("cleanup")
+	res.Redund = polishNetwork(net, res.Forms, opt, bud, bm, degrade, hopeless, enterPhase, markPhase)
 	// Safety net: the synthesized network must match the specification.
 	// The budget is detached first — verification must always run to
 	// completion, even (especially) after a deadline trip.
@@ -886,6 +1142,518 @@ func Synthesize(ctx context.Context, spec *network.Network, opt Options) (res *R
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// Per-cone arm choices of the basis arbiter.
+const (
+	chXor  = iota // the GF(2) arm's emitted cone
+	chSop         // the SOP arm's verified cone
+	chSpec        // the structural spec-cone copy (every arm failed)
+)
+
+// arbiterRun carries the mid-flight state of a non-XOR basis run from
+// Synthesize's fan-out into the selection and candidate-arbitration
+// tail.
+type arbiterRun struct {
+	spec                  *network.Network
+	opt                   Options
+	basis                 Basis
+	bm                    *bdd.Manager
+	bud                   *budget.Budget
+	outs                  []bdd.Ref
+	res                   *Result
+	net                   *network.Network // the emitter network holding the GF(2) cones
+	poGate                []int            // per-output root in net (emitted or spec-cone copy)
+	emitted               []bool           // true when poGate is a real GF(2) arm result
+	armXor, armSop        []bool
+	xorFail, sopFail      []string
+	sopRes                []*sisbase.Result
+	predicted, predWhy    []string
+	enterPhase, markPhase func(string)
+	degrade               func(output, stage, fallback, reason string)
+	start                 time.Time
+}
+
+// finish selects each cone's arm, assembles and polishes the candidate
+// networks, and arbitrates them so the combined flow is never worse
+// than either pure flow — lexicographically in pre-map literals, then
+// mapped gates, then mapped literals.
+func (a *arbiterRun) finish() (*Result, error) {
+	spec, opt, res, net, bm, bud, outs := a.spec, a.opt, a.res, a.net, a.bm, a.bud, a.outs
+	nOut := len(outs)
+	a.enterPhase("select")
+	// Verify the SOP arms: a cone may only fall to an arm whose result
+	// provably computes the spec cone. The arm's network is rebuilt as a
+	// BDD on the shared manager (budget-guarded, sequential, in output
+	// order — deterministic at any worker count) and compared by
+	// hash-consed identity; a miss is that arm's contained failure.
+	for oi := 0; oi < nOut; oi++ {
+		if a.sopRes[oi] == nil {
+			if a.armSop[oi] && a.sopFail[oi] == "" {
+				a.sopFail[oi] = "sop arm produced no result"
+			}
+			continue
+		}
+		var got []bdd.Ref
+		gerr := budget.Guard(func() { got = a.sopRes[oi].Network.ToBDDs(bm) })
+		if gerr != nil {
+			a.sopRes[oi] = nil
+			a.sopFail[oi] = "sop verify: " + gerr.Error()
+			continue
+		}
+		if len(got) != 1 || got[0] != outs[oi] {
+			a.sopRes[oi] = nil
+			a.sopFail[oi] = "sop arm result not equivalent to spec cone"
+		}
+	}
+	// Per-cone choice: literals, then total gates, then XOR on a tie
+	// (the GF(2) arm is the paper's flow and the deterministic default).
+	// An arm failure falls back to its sibling's verified result; the
+	// spec-cone ladder is reached only when every arm of a cone failed.
+	choice := make([]int, nOut)
+	for oi := 0; oi < nOut; oi++ {
+		oname := spec.POs[oi].Name
+		bc := BasisChoice{Output: oname, Predicted: a.predicted[oi], XorLits: -1, SopLits: -1, Reason: a.predWhy[oi]}
+		xorOK, sopOK := a.emitted[oi], a.sopRes[oi] != nil
+		var xs, ss network.Stats
+		if xorOK {
+			xs = coneStats(net, a.poGate[oi])
+			bc.XorLits = xs.Lits
+		}
+		if sopOK {
+			ss = a.sopRes[oi].Stats
+			bc.SopLits = ss.Lits
+		}
+		switch {
+		case xorOK && sopOK:
+			if ss.Lits < xs.Lits || (ss.Lits == xs.Lits && ss.Total < xs.Total) {
+				choice[oi] = chSop
+				opt.Obs.Arbiter().ArmWin("sop")
+			} else {
+				choice[oi] = chXor
+				opt.Obs.Arbiter().ArmWin("xor")
+			}
+		case xorOK:
+			choice[oi] = chXor
+			if a.armSop[oi] {
+				a.degrade(oname, "sop-arm", "xor-arm", a.sopFail[oi])
+				opt.Obs.Arbiter().Override()
+				bc.Reason = a.sopFail[oi]
+			}
+		case sopOK:
+			choice[oi] = chSop
+			if a.armXor[oi] {
+				reason := a.xorFail[oi]
+				if reason == "" {
+					reason = "GF(2) arm fell back to spec-cone"
+				}
+				a.degrade(oname, "xor-arm", "sop-arm", reason)
+				opt.Obs.Arbiter().Override()
+				bc.Reason = reason
+			}
+		default:
+			choice[oi] = chSpec
+			if a.xorFail[oi] != "" {
+				a.degrade(oname, "xor-arm", "spec-cone", a.xorFail[oi])
+			}
+			if a.armSop[oi] && a.sopFail[oi] != "" {
+				a.degrade(oname, "sop-arm", "spec-cone", a.sopFail[oi])
+			}
+		}
+		switch choice[oi] {
+		case chXor:
+			bc.Chosen = "xor"
+		case chSop:
+			bc.Chosen = "sop"
+		default:
+			bc.Chosen = "spec-cone"
+		}
+		res.BasisChoices = append(res.BasisChoices, bc)
+	}
+	// Candidate assembly. The hybrid keeps each cone's chosen arm; a
+	// pure-XOR or pure-SOP assembly is arbitrated alongside it whenever
+	// that arm succeeded on every cone. Per-cone choices cannot see
+	// cross-cone sharing (an adder's carry chain amortizes across
+	// outputs), so a hybrid that wins every cone in isolation can still
+	// lose to a single-basis network; arbitrating the pure assemblies
+	// keeps the combined flow no worse than either on the whole circuit.
+	type candidate struct {
+		name string
+		vec  []int
+		dup  int // index of an identical earlier candidate, else -1
+		n    *network.Network
+	}
+	cands := []candidate{{name: "hybrid", vec: choice, dup: -1}}
+	xorPure, sopPure := true, true
+	for oi := 0; oi < nOut; oi++ {
+		xorPure = xorPure && a.emitted[oi]
+		sopPure = sopPure && a.sopRes[oi] != nil
+	}
+	if xorPure {
+		vec := make([]int, nOut)
+		for oi := range vec {
+			vec[oi] = chXor
+		}
+		cands = append(cands, candidate{name: "xor", vec: vec, dup: -1})
+	}
+	if sopPure {
+		vec := make([]int, nOut)
+		for oi := range vec {
+			vec[oi] = chSop
+		}
+		cands = append(cands, candidate{name: "sop", vec: vec, dup: -1})
+	}
+	for i := 1; i < len(cands); i++ {
+		for j := 0; j < i; j++ {
+			if cands[j].dup < 0 && vecEqual(cands[i].vec, cands[j].vec) {
+				cands[i].dup = j
+				break
+			}
+		}
+	}
+	allXor := func(vec []int) bool {
+		for _, c := range vec {
+			if c != chXor {
+				return false
+			}
+		}
+		return true
+	}
+	// Build assembled candidates first — they graft cones out of the
+	// emitter network before Strash rewrites it in place — then finish
+	// the all-XOR candidate (when present) on the emitter network
+	// itself, exactly as the pure GF(2) flow finishes it.
+	for i := range cands {
+		if cands[i].dup < 0 && !allXor(cands[i].vec) {
+			cands[i].n = a.assemble(cands[i].vec)
+		}
+	}
+	for i := range cands {
+		if cands[i].dup < 0 && allXor(cands[i].vec) {
+			for oi := 0; oi < nOut; oi++ {
+				net.AddPO(spec.POs[oi].Name, a.poGate[oi])
+			}
+			net.Strash()
+			net.Sweep()
+			cands[i].n = net
+			break
+		}
+	}
+	a.markPhase("select")
+
+	// Do-no-harm reference, prepared exactly as in the pure flow.
+	a.enterPhase("do-no-harm-prep")
+	var specOpt *network.Network
+	if !opt.NoFallback {
+		specOpt = spec.Clone()
+		specOpt.Sweep()
+		specOpt.Strash()
+		if opt.MergeNodes {
+			if gerr := budget.Guard(func() { MergeEquivalentGates(specOpt, bm) }); gerr != nil {
+				a.degrade("*", "merge", "skipped", gerr.Error())
+			}
+		}
+		specOpt.Sweep()
+		cleanupNetwork(specOpt)
+	}
+
+	// Polish every candidate exactly as the single-basis flow polishes
+	// its one network; only the winning candidate's ladder entries are
+	// recorded.
+	stats := make([]network.Stats, len(cands))
+	rress := make([]redund.Result, len(cands))
+	degs := make([][]Degradation, len(cands))
+	for i := range cands {
+		if cands[i].dup >= 0 {
+			continue
+		}
+		i := i
+		sink := func(output, stage, fallback, reason string) {
+			degs[i] = append(degs[i], Degradation{Output: output, Stage: stage, Fallback: fallback, Reason: reason})
+		}
+		hopeless := specOpt != nil && cands[i].n.CollectStats().Gates2 > 8*specOpt.CollectStats().Gates2
+		rress[i] = polishNetwork(cands[i].n, a.formsFor(cands[i].vec), opt, bud, bm, sink, hopeless, a.enterPhase, a.markPhase)
+		stats[i] = cands[i].n.CollectStats()
+	}
+	for i := range cands {
+		if d := cands[i].dup; d >= 0 {
+			cands[i].n = cands[d].n
+			stats[i] = stats[d]
+			rress[i] = rress[d]
+			degs[i] = degs[d]
+		}
+	}
+	// Final arbitration: pre-map literals, then mapped gates, then
+	// mapped literals, then total gates, then the fixed candidate order
+	// (hybrid, xor, sop) — the never-worse guarantee, lexicographic on
+	// the metrics the paper reports. The mapped tie-breaks exist because
+	// the 2-input cost model cannot order candidates whose literal
+	// counts tie: a NAND3-friendly SOP cone maps tighter than an
+	// inverter-heavy GF(2) cone of the same pre-map size, and only the
+	// library can see that.
+	lib := techmap.Library()
+	const worstMap = int(^uint(0) >> 1)
+	mapCostOf := func(n *network.Network) (gates, lits int) {
+		m, merr := techmap.Map(n, lib)
+		if merr != nil {
+			return worstMap, worstMap // unmappable candidates lose every tie
+		}
+		return m.Gates, m.Lits
+	}
+	mapg := make([]int, len(cands))
+	mapl := make([]int, len(cands))
+	for i := range cands {
+		if cands[i].dup >= 0 {
+			mapg[i], mapl[i] = mapg[cands[i].dup], mapl[cands[i].dup]
+			continue
+		}
+		mapg[i], mapl[i] = mapCostOf(cands[i].n)
+	}
+	better := func(i, j int) bool {
+		if stats[i].Lits != stats[j].Lits {
+			return stats[i].Lits < stats[j].Lits
+		}
+		if mapg[i] != mapg[j] {
+			return mapg[i] < mapg[j]
+		}
+		if mapl[i] != mapl[j] {
+			return mapl[i] < mapl[j]
+		}
+		return stats[i].Total < stats[j].Total
+	}
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if better(i, best) {
+			best = i
+		}
+	}
+	win := cands[best]
+	res.Degradations = append(res.Degradations, degs[best]...)
+	res.Redund = rress[best]
+	distinct := 0
+	for i := range cands {
+		if cands[i].dup < 0 {
+			distinct++
+		}
+	}
+	if distinct > 1 {
+		namedLits := func(name string) int {
+			for i := range cands {
+				if cands[i].name == name {
+					return stats[i].Lits
+				}
+			}
+			return -1
+		}
+		namedMapG := func(name string) int {
+			for i := range cands {
+				if cands[i].name == name {
+					return mapg[i]
+				}
+			}
+			return -1
+		}
+		res.BasisChoices = append(res.BasisChoices, BasisChoice{
+			Output: "*", Predicted: a.basis.String(), Chosen: win.name,
+			XorLits: namedLits("xor"), SopLits: namedLits("sop"),
+			Reason: fmt.Sprintf("lits hybrid=%d xor=%d sop=%d; map-gates hybrid=%d xor=%d sop=%d",
+				stats[0].Lits, namedLits("xor"), namedLits("sop"),
+				mapg[0], namedMapG("xor"), namedMapG("sop")),
+		})
+	}
+	// Safety net, identical to the pure flow's verify phase.
+	if opt.Verify {
+		a.enterPhase("verify")
+		bm.SetBudget(nil)
+		bm.SetAllocHook(nil)
+		got := win.n.ToBDDs(bm)
+		for i := range got {
+			if got[i] != outs[i] {
+				return nil, fmt.Errorf("core: output %s: %w", spec.POs[i].Name, ErrNotEquivalent)
+			}
+		}
+		a.markPhase("verify")
+	}
+	res.Network = win.n
+	res.Stats = stats[best]
+	// Do-no-harm under the same lexicographic order as the candidate
+	// arbitration (Lits is 2×Gates2, so the literal comparison is the
+	// legacy Gates2 one): the swept spec replaces the winner only when
+	// strictly better, so a full tie still ships the synthesized result.
+	if specOpt != nil {
+		st := specOpt.CollectStats()
+		replace := st.Lits < res.Stats.Lits
+		if st.Lits == res.Stats.Lits {
+			sg, sl := mapCostOf(specOpt)
+			replace = sg < mapg[best] || (sg == mapg[best] && sl < mapl[best])
+		}
+		if replace {
+			res.Network = specOpt
+			res.Stats = st
+			res.Fallback = true
+			a.degrade("*", "do-no-harm", "swept-spec", "FPRM result larger than cleaned specification")
+		}
+	}
+	res.BudgetSteps = bud.Steps()
+	res.BudgetPolls = bud.Polls()
+	if opt.Obs != nil {
+		snap := opt.Obs.Snapshot()
+		res.ObsStats = &snap
+	}
+	res.Elapsed = time.Since(a.start)
+	return res, nil
+}
+
+// assemble builds one candidate network: for each output, the chosen
+// arm's cone — from the emitter network (GF(2)), the arm's SOP network,
+// or the specification — is grafted into a fresh hash-consed network
+// with the spec's PI order, so structurally identical subcones are
+// shared across outputs by construction.
+func (a *arbiterRun) assemble(vec []int) *network.Network {
+	spec := a.spec
+	cn := network.New(spec.Name + "_rm")
+	cpis := make([]int, len(spec.PIs))
+	for i, piID := range spec.PIs {
+		cpis[i] = cn.AddPI(spec.Gates[piID].Name)
+	}
+	fromNet := newConeCopier(a.net, cn, cpis)
+	fromSpec := newConeCopier(spec, cn, cpis)
+	for oi := range vec {
+		var root int
+		switch vec[oi] {
+		case chXor:
+			root = fromNet.copy(a.poGate[oi])
+		case chSop:
+			sn := a.sopRes[oi].Network
+			root = newConeCopier(sn, cn, cpis).copy(sn.POs[0].Gate)
+		default:
+			root = fromSpec.copy(spec.POs[oi].Gate)
+		}
+		cn.AddPO(spec.POs[oi].Name, root)
+	}
+	cn.Strash()
+	cn.Sweep()
+	return cn
+}
+
+// formsFor returns the redundancy-removal forms matching a candidate:
+// the derived FPRM form for GF(2)-chosen cones, an empty form otherwise
+// (SOP and spec cones have no GF(2) cube list, exactly what a pure-SOP
+// run's redundancy pass would see).
+func (a *arbiterRun) formsFor(vec []int) []*fprm.Form {
+	fs := make([]*fprm.Form, len(vec))
+	for oi := range vec {
+		if vec[oi] == chXor && a.emitted[oi] {
+			fs[oi] = a.res.Forms[oi]
+		} else {
+			fs[oi] = fprm.NewForm(a.spec.NumPIs(), nil)
+		}
+	}
+	return fs
+}
+
+func vecEqual(x, y []int) bool {
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// coneStats computes CollectStats' cost model over the cone rooted at
+// one gate — the whole-network metric restricted to a single output.
+func coneStats(n *network.Network, root int) network.Stats {
+	var s network.Stats
+	seen := make(map[int]bool)
+	var visit func(int)
+	visit = func(id int) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		g := &n.Gates[id]
+		for _, f := range g.Fanins {
+			visit(f)
+		}
+		switch g.Type {
+		case network.PI:
+		case network.And, network.Or, network.Nand, network.Nor:
+			s.Total++
+			s.Gates2 += len(g.Fanins) - 1
+		case network.Xor, network.Xnor:
+			s.Total++
+			s.XORs++
+			s.Gates2 += 3 * (len(g.Fanins) - 1)
+		default: // Const0/Const1/Buf/Not
+			s.Total++
+		}
+	}
+	visit(root)
+	s.Lits = 2 * s.Gates2
+	return s
+}
+
+// polishNetwork runs the shared optimization tail — redundancy removal
+// (snapshot-guarded), cross-output merging, structural cleanup — on one
+// network. Both the pure flow's single network and every arbiter
+// candidate go through this, so the do-no-harm and never-worse
+// comparisons are always between equally-polished networks.
+func polishNetwork(net *network.Network, forms []*fprm.Form, opt Options, bud *budget.Budget, bm *bdd.Manager,
+	degrade func(output, stage, fallback, reason string), hopeless bool,
+	enterPhase, markPhase func(string)) redund.Result {
+	var rres redund.Result
+	enterPhase("redund")
+	if opt.Redund && !hopeless {
+		if perr := bud.Exceeded(); perr != nil {
+			degrade("*", "redund", "skipped", perr.Error())
+		} else {
+			// Snapshot first: a budget trip inside the pass could land
+			// mid-rewrite, and a half-applied candidate must not survive.
+			snap := net.Clone()
+			gerr := budget.Guard(func() {
+				rres = redund.Remove(net, redund.Options{
+					Forms:  forms,
+					Verify: opt.Verify,
+					Budget: bud,
+				})
+			})
+			if gerr != nil {
+				*net = *snap
+				rres = redund.Result{}
+				degrade("*", "redund", "skipped", gerr.Error())
+			} else if rres.BudgetCut {
+				// The pass stopped early but kept its committed
+				// reductions: weaker optimization, not a fallback
+				// network — still worth a truthful ladder entry.
+				reason := "budget exhausted"
+				if perr := bud.Exceeded(); perr != nil {
+					reason = perr.Error()
+				}
+				degrade("*", "redund", "partial", reason)
+			}
+		}
+	}
+	markPhase("redund")
+	enterPhase("merge")
+	if opt.MergeNodes {
+		// Safe without a snapshot: mutation happens only after the BDD
+		// signature loop, the sole place a budget trip can occur.
+		if gerr := budget.Guard(func() { MergeEquivalentGates(net, bm) }); gerr != nil {
+			degrade("*", "merge", "skipped", gerr.Error())
+		}
+		net.Sweep()
+	}
+	markPhase("merge")
+	// Structural cleanup after the optimization passes: cancel inverter
+	// pairs, rebalance XOR chains (deferred until after redund, whose
+	// Section 4 analysis depends on the factor-phase tree shapes),
+	// re-hash, and compact away everything the merges left dead. Runs
+	// before verify so the equivalence check covers it.
+	enterPhase("cleanup")
+	cleanupNetwork(net)
+	markPhase("cleanup")
+	return rres
 }
 
 // cleanupNetwork runs the cheap structural post-passes: inverter-pair

@@ -66,6 +66,16 @@ func assertIdentical(t *testing.T, name string, ref, got *core.Result, workers i
 	if ref.Stats != got.Stats {
 		t.Errorf("%s: stats differ at -j%d: %+v vs %+v", name, workers, got.Stats, ref.Stats)
 	}
+	if len(ref.BasisChoices) != len(got.BasisChoices) {
+		t.Fatalf("%s: basis-choice list length differs at -j%d: %v vs %v",
+			name, workers, got.BasisChoices, ref.BasisChoices)
+	}
+	for i := range ref.BasisChoices {
+		if ref.BasisChoices[i] != got.BasisChoices[i] {
+			t.Errorf("%s: basis choice %d differs at -j%d: %+v vs %+v",
+				name, i, workers, got.BasisChoices[i], ref.BasisChoices[i])
+		}
+	}
 }
 
 // The multi-output Table 2 circuits must synthesize to bit-identical

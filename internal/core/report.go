@@ -38,6 +38,13 @@ type RunStats struct {
 	Budget       BudgetStat        `json:"budget"`
 	Obs          *obs.Stats        `json:"obs,omitempty"`
 
+	// Basis is the requested synthesis basis ("xor", "sop", "auto",
+	// "race"); BasisChoices records the arbiter's per-cone routing.
+	// Both are deterministic at any worker count and survive
+	// StripVolatile.
+	Basis        string        `json:"basis,omitempty"`
+	BasisChoices []BasisChoice `json:"basis_choices,omitempty"`
+
 	Phases    []PhaseStat  `json:"phases"`
 	Outputs   []OutputStat `json:"outputs"`
 	ElapsedNS int64        `json:"elapsed_ns"`
@@ -91,18 +98,20 @@ func (r *Result) RunStats(circuit string) *RunStats {
 		circuit = r.Network.Name
 	}
 	rs := &RunStats{
-		Schema:     StatsSchema,
-		Circuit:    circuit,
-		Workers:    r.Workers,
-		Gates2:     r.Stats.Gates2,
-		Literals:   r.Stats.Lits,
-		XORs:       r.Stats.XORs,
-		GatesTotal: r.Stats.Total,
-		CubeCounts: r.CubeCounts,
-		Fallback:   r.Fallback,
-		Budget:     BudgetStat{Steps: r.BudgetSteps, Polls: r.BudgetPolls},
-		Obs:        r.ObsStats,
-		ElapsedNS:  r.Elapsed.Nanoseconds(),
+		Schema:       StatsSchema,
+		Circuit:      circuit,
+		Workers:      r.Workers,
+		Gates2:       r.Stats.Gates2,
+		Literals:     r.Stats.Lits,
+		XORs:         r.Stats.XORs,
+		GatesTotal:   r.Stats.Total,
+		CubeCounts:   r.CubeCounts,
+		Fallback:     r.Fallback,
+		Budget:       BudgetStat{Steps: r.BudgetSteps, Polls: r.BudgetPolls},
+		Obs:          r.ObsStats,
+		Basis:        r.Basis,
+		BasisChoices: append([]BasisChoice(nil), r.BasisChoices...),
+		ElapsedNS:    r.Elapsed.Nanoseconds(),
 	}
 	if r.Network != nil {
 		rs.PIs = r.Network.NumPIs()

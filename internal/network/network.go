@@ -380,6 +380,39 @@ func (n *Network) Clone() *Network {
 	return out
 }
 
+// ExtractCone returns a new network with the same primary inputs (same
+// order, same names) and exactly one primary output: a structural copy
+// of output po's cone, rebuilt through the hash-consing constructor.
+// Every PI is kept whether or not the cone supports it, so cone results
+// stay index-compatible with the parent network for merging and
+// verification. The receiver is only read (the consing table of the new
+// network is private to it), so concurrent extractions from one parent
+// are safe.
+func (n *Network) ExtractCone(po int) *Network {
+	out := New(fmt.Sprintf("%s_cone%d", n.Name, po))
+	memo := make(map[int]int, len(n.PIs)*2)
+	for _, pi := range n.PIs {
+		memo[pi] = out.AddPI(n.Gates[pi].Name)
+	}
+	var copyGate func(id int) int
+	copyGate = func(id int) int {
+		if g, ok := memo[id]; ok {
+			return g
+		}
+		g := &n.Gates[id]
+		fan := make([]int, len(g.Fanins))
+		for i, f := range g.Fanins {
+			fan[i] = copyGate(f)
+		}
+		ng := out.AddGate(g.Type, fan...)
+		memo[id] = ng
+		return ng
+	}
+	p := n.POs[po]
+	out.AddPO(p.Name, copyGate(p.Gate))
+	return out
+}
+
 // TopoOrder returns the IDs of all gates in the transitive fanin of the
 // POs, fanins before fanouts. PIs are included.
 func (n *Network) TopoOrder() []int {

@@ -287,6 +287,91 @@ func (s *Search) Snapshot() SearchStats {
 	}
 }
 
+// Arbiter counts the per-cone basis arbitration of the combined
+// GF(2)/SOP flow: predictor verdicts, hedged cones (both arms raced
+// under one budget), per-cone arm wins, and overrides (an arm failure
+// absorbed by its sibling's verified result instead of the degradation
+// ladder). The predict phase and selection are sequential, so every
+// counter is deterministic at any worker count.
+type Arbiter struct {
+	predXor, predSop, predHedge atomic.Int64
+	hedges                      atomic.Int64
+	winsXor, winsSop            atomic.Int64
+	overrides                   atomic.Int64
+}
+
+// Prediction counts one predictor verdict ("xor", "sop", or "hedge").
+func (a *Arbiter) Prediction(verdict string) {
+	if a == nil {
+		return
+	}
+	switch verdict {
+	case "xor":
+		a.predXor.Add(1)
+	case "sop":
+		a.predSop.Add(1)
+	case "hedge":
+		a.predHedge.Add(1)
+	}
+}
+
+// HedgeStarted counts one cone racing both arms under sibling budget
+// slices.
+func (a *Arbiter) HedgeStarted() {
+	if a == nil {
+		return
+	}
+	a.hedges.Add(1)
+}
+
+// ArmWin counts the selected arm of a hedged cone ("xor" or "sop").
+func (a *Arbiter) ArmWin(basis string) {
+	if a == nil {
+		return
+	}
+	switch basis {
+	case "xor":
+		a.winsXor.Add(1)
+	case "sop":
+		a.winsSop.Add(1)
+	}
+}
+
+// Override counts one arm failure absorbed by the sibling arm's result.
+func (a *Arbiter) Override() {
+	if a == nil {
+		return
+	}
+	a.overrides.Add(1)
+}
+
+// ArbiterStats is the plain-value snapshot of an Arbiter group.
+type ArbiterStats struct {
+	PredXor   int64 `json:"pred_xor"`
+	PredSop   int64 `json:"pred_sop"`
+	PredHedge int64 `json:"pred_hedge"`
+	Hedges    int64 `json:"hedges"`
+	WinsXor   int64 `json:"wins_xor"`
+	WinsSop   int64 `json:"wins_sop"`
+	Overrides int64 `json:"overrides"`
+}
+
+// Snapshot captures the group's current values (zero on nil).
+func (a *Arbiter) Snapshot() ArbiterStats {
+	if a == nil {
+		return ArbiterStats{}
+	}
+	return ArbiterStats{
+		PredXor:   a.predXor.Load(),
+		PredSop:   a.predSop.Load(),
+		PredHedge: a.predHedge.Load(),
+		Hedges:    a.hedges.Load(),
+		WinsXor:   a.winsXor.Load(),
+		WinsSop:   a.winsSop.Load(),
+		Overrides: a.overrides.Load(),
+	}
+}
+
 // Collector gathers every counter group of one synthesis run. A nil
 // Collector is valid everywhere and disables collection; the accessors
 // below propagate the nil so call sites stay branch-free.
@@ -294,6 +379,7 @@ type Collector struct {
 	bdd     DD
 	ofdd    DD
 	factor  Factor
+	arbiter Arbiter
 	outputs []Search
 }
 
@@ -325,6 +411,15 @@ func (c *Collector) Factor() *Factor {
 	return &c.factor
 }
 
+// Arbiter returns the basis-arbitration counter group (nil when c is
+// nil).
+func (c *Collector) Arbiter() *Arbiter {
+	if c == nil {
+		return nil
+	}
+	return &c.arbiter
+}
+
 // StartOutputs sizes the per-output search groups. Call once, before
 // the derivation fan-out starts; the groups themselves are then safe
 // for concurrent use.
@@ -350,6 +445,7 @@ type Stats struct {
 	BDD     DDStats       `json:"bdd"`
 	OFDD    DDStats       `json:"ofdd"`
 	Factor  FactorStats   `json:"factor"`
+	Arbiter ArbiterStats  `json:"arbiter"`
 	Outputs []SearchStats `json:"polarity_search"`
 }
 
@@ -361,9 +457,10 @@ func (c *Collector) Snapshot() Stats {
 		return Stats{}
 	}
 	s := Stats{
-		BDD:    c.bdd.Snapshot(),
-		OFDD:   c.ofdd.Snapshot(),
-		Factor: c.factor.Snapshot(),
+		BDD:     c.bdd.Snapshot(),
+		OFDD:    c.ofdd.Snapshot(),
+		Factor:  c.factor.Snapshot(),
+		Arbiter: c.arbiter.Snapshot(),
 	}
 	if len(c.outputs) > 0 {
 		s.Outputs = make([]SearchStats, len(c.outputs))

@@ -27,6 +27,13 @@ type Policy struct {
 
 	MaxWorkersPerRequest int     // clamp on X-Rmsynd-Workers
 	MaxRetryFactor       float64 // clamp on X-Rmsynd-Retry-Factor
+
+	// AllowRace permits X-Rmsynd-Basis: race, which runs both basis
+	// arms on every cone (roughly doubling a request's arm work under
+	// the same budget). When false, race requests are clamped to auto —
+	// the predictor still hedges where the structure is ambiguous, but
+	// sure cones run one arm only.
+	AllowRace bool
 }
 
 // DefaultPolicy returns conservative service defaults: 30s granted by
@@ -43,6 +50,7 @@ func DefaultPolicy() Policy {
 		MaxSteps:             2_000_000_000,
 		MaxWorkersPerRequest: 0, // filled from Config.Workers
 		MaxRetryFactor:       16,
+		AllowRace:            true,
 	}
 }
 
@@ -61,6 +69,7 @@ type grant struct {
 
 	Method   core.Method
 	Polarity core.Polarity
+	Basis    core.Basis
 	NoCache  bool
 }
 
@@ -168,6 +177,18 @@ func parseGrant(h http.Header, pol Policy, poolSize int) (grant, error) {
 		return g, &optErr{"X-Rmsynd-Polarity", "want positive|greedy|exhaustive"}
 	}
 
+	g.Basis = core.DefaultOptions().Basis
+	if v := h.Get("X-Rmsynd-Basis"); v != "" {
+		b, berr := core.ParseBasis(v)
+		if berr != nil {
+			return g, &optErr{"X-Rmsynd-Basis", "want auto|xor|sop|race"}
+		}
+		g.Basis = b
+	}
+	if g.Basis == core.BasisRace && !pol.AllowRace {
+		g.Basis = core.BasisAuto
+	}
+
 	switch v := h.Get("X-Rmsynd-No-Cache"); v {
 	case "", "0", "false":
 	case "1", "true":
@@ -219,6 +240,7 @@ func (g grant) coreOptions() core.Options {
 	opt := core.DefaultOptions()
 	opt.Method = g.Method
 	opt.Polarity = g.Polarity
+	opt.Basis = g.Basis
 	opt.MaxBDDNodes = g.BDDNodes
 	opt.MaxOFDDNodes = g.OFDDNodes
 	opt.MaxCubes = g.Cubes
@@ -234,7 +256,7 @@ func (g grant) coreOptions() core.Options {
 // share a cache entry; ones differing in flow may not (Kushch: record
 // which basis/flow produced each cached form).
 func (g grant) flowKey() string {
-	return fmt.Sprintf("m%d|p%d", g.Method, g.Polarity)
+	return fmt.Sprintf("m%d|p%d|B%d", g.Method, g.Polarity, g.Basis)
 }
 
 // flightKey fingerprints everything that affects what a leader computes,
@@ -259,5 +281,5 @@ func (g grant) flowString() string {
 	case core.PolarityExhaustive:
 		p = "exhaustive"
 	}
-	return "method=" + m + " polarity=" + p
+	return "method=" + m + " polarity=" + p + " basis=" + g.Basis.String()
 }

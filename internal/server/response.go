@@ -21,6 +21,7 @@ const Schema = "rmsynd/v1"
 type Flow struct {
 	Method   string `json:"method"`
 	Polarity string `json:"polarity"`
+	Basis    string `json:"basis"`
 	Rules    bool   `json:"rules"`
 	Redund   bool   `json:"redund"`
 	Merge    bool   `json:"merge"`
@@ -153,6 +154,7 @@ func buildBody(circuit string, spec *network.Network, res *core.Result, g grant,
 		Flow: Flow{
 			Method:   map[core.Method]string{core.MethodOFDD: "ofdd"}[g.Method],
 			Polarity: map[core.Polarity]string{core.PolarityPositive: "positive", core.PolarityExhaustive: "exhaustive"}[g.Polarity],
+			Basis:    g.Basis.String(),
 			Rules:    true,
 			Redund:   true,
 			Merge:    true,

@@ -319,6 +319,7 @@ func (s *Server) synthesize(w http.ResponseWriter, r *http.Request) string {
 	h.Set("X-Rmsynd-Granted-Workers", strconv.Itoa(g.Workers))
 	h.Set("X-Rmsynd-Granted-Max-Bdd-Nodes", strconv.Itoa(g.BDDNodes))
 	h.Set("X-Rmsynd-Granted-Max-Cubes", strconv.FormatInt(g.Cubes, 10))
+	h.Set("X-Rmsynd-Granted-Basis", g.Basis.String())
 	w.WriteHeader(http.StatusOK)
 	w.Write(entry.Body)
 	return ""

@@ -48,8 +48,18 @@ func Divide(f, d *sop.Cover) (q, r *sop.Cover) {
 			return sop.NewCover(capSig), f.Clone()
 		}
 	}
+	// Emit quotient terms in sorted-key order: qKeys is a map, and the
+	// quotient's term order propagates into host covers and from there
+	// into the decomposed network structure, so it must not depend on
+	// map iteration order.
+	keys := make([]string, 0, len(qKeys))
+	for k := range qKeys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	covered := make(map[string]bool)
-	for _, qt := range qKeys {
+	for _, k := range keys {
+		qt := qKeys[k]
 		q.Add(qt.Clone())
 		for _, dt := range d.Terms {
 			p := qt.Clone()

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/network"
 	"repro/internal/sop"
 )
@@ -87,6 +88,26 @@ type Result struct {
 // or cancellation the flow stops gracefully at the last completed pass and
 // still returns a functionally intact network, with Result.Stopped set.
 func Run(ctx context.Context, spec *network.Network, opt Options) (*Result, error) {
+	return run(ctx, spec, opt, nil)
+}
+
+// RunCone runs the baseline script on the cone of spec's primary output
+// po — the per-cone callable of the basis arbiter's SOP arm. It honors
+// ctx and bud the same way the fprm flow does: both are polled between
+// optimization passes, so cancellation or budget exhaustion stops the
+// script gracefully at the last completed pass, with Result.Stopped set
+// and a functionally intact single-output network. The cone keeps spec's
+// full PI list in order (see network.ExtractCone), so the result stays
+// index-compatible with spec for merging and verification. spec is only
+// read; concurrent RunCone calls on one spec are safe.
+func RunCone(ctx context.Context, spec *network.Network, po int, opt Options, bud *budget.Budget) (*Result, error) {
+	if po < 0 || po >= len(spec.POs) {
+		return nil, fmt.Errorf("sisbase: output %d out of range (network has %d)", po, len(spec.POs))
+	}
+	return run(ctx, spec.ExtractCone(po), opt, bud)
+}
+
+func run(ctx context.Context, spec *network.Network, opt Options, bud *budget.Budget) (*Result, error) {
 	start := time.Now()
 	if opt.MaxIters == 0 {
 		opt.MaxIters = 8
@@ -104,6 +125,12 @@ func Run(ctx context.Context, spec *network.Network, opt Options) (*Result, erro
 			return true
 		}
 		if err := ctx.Err(); err != nil {
+			stopped = err.Error()
+			return true
+		}
+		// The graceful poll: a tripped/expired budget ends the script at
+		// the pass boundary, exactly like the polarity search's poll.
+		if err := bud.Exceeded(); err != nil {
 			stopped = err.Error()
 			return true
 		}

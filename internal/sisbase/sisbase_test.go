@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/bdd"
+	"repro/internal/budget"
 	"repro/internal/network"
 	"repro/internal/sop"
 )
@@ -63,6 +64,62 @@ func TestQuickBaselinePreserves(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// RunCone optimizes one output's cone on the full PI space: the result
+// has every PI of the parent (index-compatible) and exactly the cone's
+// function on its single output.
+func TestRunConePreservesConeFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		spec := buildSpec(rng, 3+rng.Intn(3), 4+rng.Intn(12))
+		m := bdd.New(spec.NumPIs())
+		want := spec.ToBDDs(m)
+		for po := range spec.POs {
+			res, err := RunCone(context.Background(), spec, po, DefaultOptions(), nil)
+			if err != nil {
+				t.Fatalf("trial %d po %d: %v", trial, po, err)
+			}
+			if res.Stopped != "" {
+				t.Fatalf("trial %d po %d: unexpected stop %q", trial, po, res.Stopped)
+			}
+			if got := res.Network.NumPIs(); got != spec.NumPIs() {
+				t.Fatalf("trial %d po %d: cone result has %d PIs, want %d", trial, po, got, spec.NumPIs())
+			}
+			if got := res.Network.NumPOs(); got != 1 {
+				t.Fatalf("trial %d po %d: cone result has %d POs, want 1", trial, po, got)
+			}
+			if f := res.Network.ToBDDs(m); f[0] != want[po] {
+				t.Fatalf("trial %d po %d: cone function changed", trial, po)
+			}
+		}
+	}
+	if _, err := RunCone(context.Background(), buildSpec(rng, 3, 4), 99, DefaultOptions(), nil); err == nil {
+		t.Fatal("out-of-range output index must error")
+	}
+}
+
+// RunCone polls the budget between passes: an exhausted budget stops the
+// script gracefully (Stopped set, function intact), mirroring the ctx
+// poll the whole-network Run already had.
+func TestRunConeBudgetStopsGracefully(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	spec := buildSpec(rng, 5, 14)
+	bud := budget.New(context.Background(), budget.Limits{Steps: 1})
+	if err := budget.Guard(func() { bud.Step("x"); bud.Step("x") }); err == nil {
+		t.Fatal("setup: budget did not trip")
+	}
+	res, err := RunCone(context.Background(), spec, 0, DefaultOptions(), bud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped == "" {
+		t.Fatal("exhausted budget did not stop the script")
+	}
+	m := bdd.New(spec.NumPIs())
+	if f := res.Network.ToBDDs(m); f[0] != spec.ToBDDs(m)[0] {
+		t.Fatal("budget-stopped cone result is not functionally intact")
 	}
 }
 
