@@ -13,7 +13,9 @@
 //
 //	POST /v1/synthesize   PLA or BLIF body -> rmsynd/v1 JSON
 //	GET  /metrics         Prometheus text exposition
-//	GET  /healthz         200 ok, 503 while draining
+//	GET  /healthz         liveness: 200 until the process has shut down
+//	GET  /readyz          routability: 503 while draining, while the
+//	                      persistent cache scan runs, or at capacity
 //
 // Per-request knobs travel in X-Rmsynd-* headers (see DESIGN.md §11):
 // Timeout, Max-Bdd-Nodes, Max-Ofdd-Nodes, Max-Cubes, Max-Steps,
@@ -34,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -58,6 +61,10 @@ func main() {
 		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "per-request wall-clock ceiling")
 		cacheEntries = flag.Int("cache-entries", 1024, "result cache entry bound")
 		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result cache byte bound")
+		cacheDir     = flag.String("cache-dir", "", "directory for the crash-safe persistent cache tier (empty = memory only)")
+		diskBytes    = flag.Int64("disk-cache-bytes", 0, "persistent cache byte bound (0 = 256 MiB default)")
+		adaptive     = flag.Bool("adaptive", true, "AIMD admission limiter (false = static Workers+queue token gate)")
+		memSoft      = flag.Int64("mem-soft-limit", 0, "heap bytes that engage the memory brownout (0 = disabled)")
 		grace        = flag.Duration("grace", 15*time.Second, "drain grace before in-flight work is force-degraded")
 		chaosPlan    = flag.String("chaos-plan", "", "inject the named core chaos plan into every request (soak testing only)")
 	)
@@ -81,15 +88,30 @@ func main() {
 		hooks = &server.Hooks{CoreHooks: func() *core.ProbeHooks { return plan.Hooks(nil) }}
 	}
 
+	if *memSoft < 0 {
+		fmt.Fprintln(os.Stderr, "rmsynd: -mem-soft-limit must be non-negative")
+		os.Exit(exitUsage)
+	}
+	if *memSoft > 0 {
+		// Belt and braces: the brownout sheds work above the soft cap;
+		// the runtime's own limit (25% above it) makes the GC fight for
+		// the remaining headroom instead of letting a spike OOM first.
+		debug.SetMemoryLimit(*memSoft + *memSoft/4)
+	}
+
 	srv := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		MaxBodyBytes: *maxBody,
-		ReadTimeout:  *readTimeout,
-		Policy:       pol,
-		CacheEntries: *cacheEntries,
-		CacheBytes:   *cacheBytes,
-		Hooks:        hooks,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxBodyBytes:   *maxBody,
+		ReadTimeout:    *readTimeout,
+		Policy:         pol,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		CacheDir:       *cacheDir,
+		DiskCacheBytes: *diskBytes,
+		Adaptive:       *adaptive,
+		MemSoftLimit:   uint64(*memSoft),
+		Hooks:          hooks,
 	})
 
 	httpSrv := &http.Server{

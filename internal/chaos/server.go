@@ -81,6 +81,10 @@ func ServerSweep(opt ServerSweepOptions) []Violation {
 		{"malformed", runMalformed},
 		{"overload-shed", func(b []byte, bad func(string, string)) { runOverload(b, burst, bad) }},
 		{"drain", runDrain},
+		{"overload-storm", runOverloadStorm},
+		{"memory-brownout", runMemoryBrownout},
+		{"cache-crash-recovery", runCacheCrashRecovery},
+		{"drain-under-load", runDrainUnderLoad},
 	}
 	for _, sc := range scenarios {
 		bad := func(invariant, detail string) {

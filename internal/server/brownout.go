@@ -1,0 +1,157 @@
+package server
+
+// Memory brownout (DESIGN.md §14): per-request node/cube caps do not
+// compose into a process-wide bound — N concurrent wide cones can each
+// be inside their own budget while their sum OOMs the process. The
+// brownout monitor watches actual heap usage against a soft cap and,
+// when crossed, sheds *work* instead of dying: new requests are granted
+// tightened budget clamps (and hedged races are collapsed to one arm),
+// and the largest in-flight budgets are force-degraded through the
+// existing ladder by cancelling their run contexts — the same mechanism
+// the drain grace period uses, so every affected request still returns
+// a verified, truthfully-attributed degraded result. Hysteresis (exit
+// at 7/8 of the cap) keeps the state machine from flapping on the GC
+// sawtooth.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// brownoutExitNum/Den: brownout exits when usage falls below
+	// soft * 7/8 — the hysteresis band.
+	brownoutExitNum = 7
+	brownoutExitDen = 8
+	// brownoutPollInterval is the default watermark sampling period.
+	brownoutPollInterval = 250 * time.Millisecond
+	// brownoutBudgetDiv divides every granted node/cube/step budget
+	// while the brownout is active.
+	brownoutBudgetDiv = 4
+)
+
+// brownout is the process-wide memory watermark monitor. A nil
+// *brownout (no soft cap configured) is inert: Active reports false and
+// Stop is a no-op.
+type brownout struct {
+	soft     uint64
+	exit     uint64
+	interval time.Duration
+	probe    func() uint64 // current heap usage; nil means ReadMemStats
+
+	// forceDegrade cancels the largest not-yet-forced in-flight budget
+	// and reports whether one was found. Supplied by the Server.
+	forceDegrade func() bool
+
+	active      atomic.Bool
+	transitions atomic.Int64 // enter events (exits are transitions-…; both counted)
+	exits       atomic.Int64
+	forced      atomic.Int64 // in-flight budgets force-degraded
+	lastUsage   atomic.Uint64
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// newBrownout builds and starts the monitor goroutine. soft == 0
+// disables the monitor entirely (returns nil).
+func newBrownout(soft uint64, interval time.Duration, probe func() uint64, forceDegrade func() bool) *brownout {
+	if soft == 0 {
+		return nil
+	}
+	if interval <= 0 {
+		interval = brownoutPollInterval
+	}
+	if probe == nil {
+		probe = heapUsage
+	}
+	b := &brownout{
+		soft:         soft,
+		exit:         soft * brownoutExitNum / brownoutExitDen,
+		interval:     interval,
+		probe:        probe,
+		forceDegrade: forceDegrade,
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// heapUsage is the production probe: live heap bytes. ReadMemStats
+// stops the world briefly; at the default 250 ms period that cost is
+// noise next to one BDD operation.
+func heapUsage() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+func (b *brownout) run() {
+	defer close(b.done)
+	t := time.NewTicker(b.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-t.C:
+			b.sample()
+		}
+	}
+}
+
+// sample runs one control-loop step. Exported logic kept on its own so
+// tests can drive the state machine deterministically without waiting
+// on the ticker.
+func (b *brownout) sample() {
+	u := b.probe()
+	b.lastUsage.Store(u)
+	switch {
+	case u > b.soft:
+		if b.active.CompareAndSwap(false, true) {
+			b.transitions.Add(1)
+		}
+		// One forced degradation per sample while over the cap: the
+		// largest in-flight budget is cancelled and drains through the
+		// ladder, freeing its managers. Pace of one per interval keeps
+		// the response proportional — a single sample spike does not
+		// flush every flight.
+		if b.forceDegrade != nil && b.forceDegrade() {
+			b.forced.Add(1)
+		}
+		// Help the pacer reclaim what the degraded flights just dropped.
+		runtime.GC()
+	case u < b.exit:
+		if b.active.CompareAndSwap(true, false) {
+			b.exits.Add(1)
+		}
+	}
+	// Between exit and soft: hysteresis band, hold the current state.
+}
+
+// Active reports whether the brownout is currently engaged.
+func (b *brownout) Active() bool { return b != nil && b.active.Load() }
+
+// Stop terminates the monitor goroutine. Idempotent — Shutdown may be
+// called more than once.
+func (b *brownout) Stop() {
+	if b == nil {
+		return
+	}
+	b.stopOnce.Do(func() {
+		close(b.stop)
+		<-b.done
+	})
+}
+
+// stats snapshot for /metrics.
+func (b *brownout) stats() (active bool, transitions, exits, forced int64, usage, soft uint64) {
+	if b == nil {
+		return false, 0, 0, 0, 0, 0
+	}
+	return b.active.Load(), b.transitions.Load(), b.exits.Load(), b.forced.Load(), b.lastUsage.Load(), b.soft
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// testBrownout builds a monitor without its goroutine so tests can
+// drive sample() deterministically.
+func testBrownout(soft uint64, probe func() uint64, force func() bool) *brownout {
+	return &brownout{
+		soft:         soft,
+		exit:         soft * brownoutExitNum / brownoutExitDen,
+		probe:        probe,
+		forceDegrade: force,
+	}
+}
+
+// TestBrownoutHysteresis walks the watermark through the full cycle:
+// engage above the soft cap, hold through the hysteresis band, clear
+// below the exit line — no flapping at the boundary.
+func TestBrownoutHysteresis(t *testing.T) {
+	var usage uint64
+	forced := 0
+	b := testBrownout(1000, func() uint64 { return usage }, func() bool { forced++; return true })
+
+	usage = 900 // below soft: stays off
+	b.sample()
+	if b.Active() {
+		t.Fatal("engaged below the soft cap")
+	}
+	usage = 1100 // over: engages, forces one degradation
+	b.sample()
+	if !b.Active() {
+		t.Fatal("did not engage over the soft cap")
+	}
+	if forced != 1 {
+		t.Fatalf("forced %d degradations on the first over-sample, want 1", forced)
+	}
+	usage = 950 // in the band (exit=875): holds active, no more forcing
+	b.sample()
+	if !b.Active() {
+		t.Fatal("cleared inside the hysteresis band")
+	}
+	if forced != 1 {
+		t.Fatalf("forced inside the band (%d total)", forced)
+	}
+	usage = 800 // below exit: clears
+	b.sample()
+	if b.Active() {
+		t.Fatal("did not clear below the exit line")
+	}
+	usage = 950 // band again, from below: stays off
+	b.sample()
+	if b.Active() {
+		t.Fatal("re-engaged inside the band — hysteresis is broken")
+	}
+	if tr := b.transitions.Load(); tr != 1 {
+		t.Errorf("transitions = %d, want 1", tr)
+	}
+	if ex := b.exits.Load(); ex != 1 {
+		t.Errorf("exits = %d, want 1", ex)
+	}
+}
+
+// TestBrownoutForcesPerSample: each over-cap sample forces at most one
+// in-flight degradation — the response stays proportional to how long
+// the pressure lasts.
+func TestBrownoutForcesPerSample(t *testing.T) {
+	victims := 3
+	b := testBrownout(1000, func() uint64 { return 2000 }, func() bool {
+		if victims == 0 {
+			return false
+		}
+		victims--
+		return true
+	})
+	for i := 0; i < 5; i++ {
+		b.sample()
+	}
+	if victims != 0 {
+		t.Errorf("%d victims left after 5 over-samples", victims)
+	}
+	if f := b.forced.Load(); f != 3 {
+		t.Errorf("forced = %d, want 3 (callback said no more)", f)
+	}
+}
+
+// TestBrownoutDisabledAndStop: soft==0 means no monitor — the nil
+// *brownout must be safe everywhere — and Stop is idempotent.
+func TestBrownoutDisabledAndStop(t *testing.T) {
+	var b *brownout // what newBrownout(0, ...) returns
+	if nb := newBrownout(0, 0, nil, nil); nb != nil {
+		t.Fatal("soft=0 built a monitor")
+	}
+	if b.Active() {
+		t.Fatal("nil brownout reports active")
+	}
+	b.Stop() // must not panic
+
+	real := newBrownout(1000, time.Millisecond, func() uint64 { return 2000 }, nil)
+	for i := 0; i < 500 && !real.Active(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if !real.Active() {
+		t.Fatal("ticker-driven monitor never engaged")
+	}
+	real.Stop()
+	real.Stop() // second Stop must not panic
+}
+
+// TestClampBrownout: budgets divide by brownoutBudgetDiv (unlimited
+// ones first assume the default ceilings), tiny ones floor at 1 rather
+// than dividing to 0 (= unlimited in core), and race collapses to auto.
+func TestClampBrownout(t *testing.T) {
+	g := grant{BDDNodes: 400, OFDDNodes: 0, Cubes: 2, Steps: 1 << 20, Basis: core.BasisRace}
+	c := g.clampBrownout()
+	if c.BDDNodes != 100 {
+		t.Errorf("BDDNodes = %d, want 100", c.BDDNodes)
+	}
+	if want := DefaultPolicy().MaxOFDDNodes / brownoutBudgetDiv; c.OFDDNodes != want {
+		t.Errorf("unlimited OFDDNodes clamped to %d, want default ceiling/4 = %d", c.OFDDNodes, want)
+	}
+	if c.Cubes != 1 {
+		t.Errorf("Cubes = %d, want floor 1 (0 would mean unlimited)", c.Cubes)
+	}
+	if c.Steps != 1<<18 {
+		t.Errorf("Steps = %d, want %d", c.Steps, 1<<18)
+	}
+	if c.Basis != core.BasisAuto {
+		t.Errorf("race basis survived the clamp: %v", c.Basis)
+	}
+}

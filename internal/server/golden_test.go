@@ -2,11 +2,13 @@ package server_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"regexp"
 	"testing"
 	"time"
 
@@ -182,5 +184,21 @@ func TestGoldenShed(t *testing.T) {
 	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Error("429 without Retry-After")
 	}
+	// retry_after_ms is deliberately jittered (±20% around the queue-
+	// derived base, here 1000ms with one request in system) so shed
+	// clients do not return in lockstep. Assert the range, then pin the
+	// field to the base so the rest of the body stays byte-golden.
+	var shed struct {
+		Error struct {
+			RetryAfterMS int64 `json:"retry_after_ms"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &shed); err != nil {
+		t.Fatalf("unparseable shed body: %v\n%s", err, body)
+	}
+	if ms := shed.Error.RetryAfterMS; ms < 800 || ms > 1200 {
+		t.Errorf("retry_after_ms = %d, want within the jitter window [800, 1200]", ms)
+	}
+	body = regexp.MustCompile(`"retry_after_ms": \d+`).ReplaceAll(body, []byte(`"retry_after_ms": 1000`))
 	goldenCompare(t, "shed.json", body)
 }

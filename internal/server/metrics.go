@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/sigcache"
 )
 
 // metrics is the server's observability surface: request outcomes,
@@ -24,9 +25,13 @@ type metrics struct {
 	cacheHit       atomic.Int64
 	cacheMiss      atomic.Int64
 	cacheCoalesced atomic.Int64
+	cacheDiskHit   atomic.Int64 // served from the persistent tier (then promoted)
 
-	degraded atomic.Int64 // responses with a non-empty degradation ladder
-	panics   atomic.Int64 // panics contained by the request boundary
+	degraded     atomic.Int64 // responses with a non-empty degradation ladder
+	panics       atomic.Int64 // panics contained by the request boundary
+	brownClamped atomic.Int64 // grants tightened by an active brownout
+
+	diskOpenFailed atomic.Bool // persistent tier failed to open; memory-only
 
 	// Aggregated pipeline counters (summed obs snapshots).
 	bddUniqueHits, bddUniqueMisses atomic.Int64
@@ -69,14 +74,39 @@ func (m *metrics) cache(src fmt.Stringer) {
 		m.cacheHit.Add(1)
 	case "coalesced":
 		m.cacheCoalesced.Add(1)
+	case "disk":
+		m.cacheDiskHit.Add(1)
 	default:
 		m.cacheMiss.Add(1)
 	}
 }
 
-// write renders the Prometheus text exposition. cacheLen/cacheBytes are
-// sampled from the result cache at scrape time.
-func (m *metrics) write(w io.Writer, cacheLen int, cacheBytes int64) {
+// statsSnapshot carries the scrape-time samples that live outside the
+// metrics struct — cache tiers, admission limiter, brownout monitor —
+// gathered by Server.snapshot so write stays a pure renderer.
+type statsSnapshot struct {
+	cacheLen     int
+	cacheBytes   int64
+	memEvictions int64
+	disk         *sigcache.DiskStats // nil when no persistent tier is attached
+
+	limEffective int
+	limInSystem  int
+	limMax       int
+	limAdaptive  bool
+	limShrinks   int64
+
+	brownActive      bool
+	brownTransitions int64
+	brownExits       int64
+	brownForced      int64
+	brownUsage       uint64
+	brownSoft        uint64
+}
+
+// write renders the Prometheus text exposition over the scrape-time
+// snapshot.
+func (m *metrics) write(w io.Writer, snap statsSnapshot) {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
@@ -98,16 +128,59 @@ func (m *metrics) write(w io.Writer, cacheLen int, cacheBytes int64) {
 	}
 	gauge("rmsynd_draining", "1 while the server is draining after SIGTERM", drain)
 
+	// Admission limiter: how many slots exist right now vs the static
+	// ceiling, and how often the AIMD loop has cut capacity.
+	gauge("rmsynd_admission_limit", "current effective in-system cap (AIMD-moved when adaptive)", int64(snap.limEffective))
+	gauge("rmsynd_admission_in_system", "requests currently holding an admission slot", int64(snap.limInSystem))
+	gauge("rmsynd_admission_capacity", "static admission ceiling (workers+queue depth)", int64(snap.limMax))
+	adaptive := int64(0)
+	if snap.limAdaptive {
+		adaptive = 1
+	}
+	gauge("rmsynd_admission_adaptive", "1 when the AIMD limiter is enabled", adaptive)
+	counter("rmsynd_admission_shrinks_total", "multiplicative decreases of the effective cap", snap.limShrinks)
+
+	// Memory brownout monitor.
+	brown := int64(0)
+	if snap.brownActive {
+		brown = 1
+	}
+	gauge("rmsynd_brownout_active", "1 while heap usage is over the soft limit", brown)
+	counter("rmsynd_brownout_transitions_total", "times the brownout engaged", snap.brownTransitions)
+	counter("rmsynd_brownout_exits_total", "times the brownout cleared", snap.brownExits)
+	counter("rmsynd_brownout_forced_total", "in-flight budgets force-degraded by the brownout", snap.brownForced)
+	counter("rmsynd_brownout_clamped_total", "grants tightened at admission during a brownout", m.brownClamped.Load())
+	gauge("rmsynd_mem_usage_bytes", "last sampled heap usage (0 when no monitor)", int64(snap.brownUsage))
+	gauge("rmsynd_mem_soft_limit_bytes", "configured brownout soft limit (0 when disabled)", int64(snap.brownSoft))
+
 	counter("rmsynd_shed_total", "requests refused with 429 at admission", m.shed.Load())
 	counter("rmsynd_abandoned_total", "clients gone before their result was ready", m.abandon.Load())
 	counter("rmsynd_degraded_total", "responses carrying a non-empty degradation ladder", m.degraded.Load())
 	counter("rmsynd_panics_total", "panics contained by the request boundary", m.panics.Load())
 
-	counter("rmsynd_cache_hits_total", "requests served from the result cache", m.cacheHit.Load())
+	counter("rmsynd_cache_hits_total", "requests served from the in-memory result cache", m.cacheHit.Load())
+	counter("rmsynd_cache_disk_hits_total", "requests served from the persistent cache tier", m.cacheDiskHit.Load())
 	counter("rmsynd_cache_misses_total", "requests that ran a synthesis", m.cacheMiss.Load())
 	counter("rmsynd_cache_coalesced_total", "requests collapsed onto an identical in-flight synthesis", m.cacheCoalesced.Load())
-	gauge("rmsynd_cache_entries", "result cache entries", int64(cacheLen))
-	gauge("rmsynd_cache_bytes", "result cache body bytes", cacheBytes)
+	counter("rmsynd_cache_evictions_total", "entries evicted from the in-memory result cache", snap.memEvictions)
+	gauge("rmsynd_cache_entries", "result cache entries (memory tier)", int64(snap.cacheLen))
+	gauge("rmsynd_cache_bytes", "result cache body bytes (memory tier)", snap.cacheBytes)
+	diskFailed := int64(0)
+	if m.diskOpenFailed.Load() {
+		diskFailed = 1
+	}
+	gauge("rmsynd_cache_disk_open_failed", "1 when the persistent tier failed to open (running memory-only)", diskFailed)
+	if d := snap.disk; d != nil {
+		gauge("rmsynd_sigcache_disk_entries", "persistent cache entries", int64(d.Entries))
+		gauge("rmsynd_sigcache_disk_bytes", "persistent cache bytes on disk", d.Bytes)
+		counter("rmsynd_sigcache_disk_reads_total", "persistent tier reads that verified and served", d.Hits)
+		counter("rmsynd_sigcache_disk_read_misses_total", "persistent tier lookups that missed", d.Misses)
+		counter("rmsynd_sigcache_scan_recovered_total", "entries recovered by the startup scan", d.ScanRecovered)
+		counter("rmsynd_sigcache_quarantined_total", "corrupt entries quarantined (scan or read time)", d.Quarantined)
+		counter("rmsynd_sigcache_aborted_writes_total", "tmp debris from interrupted writes removed at scan", d.Aborted)
+		counter("rmsynd_sigcache_disk_evictions_total", "persistent entries evicted by the byte bound", d.Evictions)
+		counter("rmsynd_sigcache_write_errors_total", "persistent tier write failures (entry served uncached)", d.WriteErrors)
+	}
 
 	// Responses by code, stable order for scrape diffing.
 	fmt.Fprintf(w, "# HELP rmsynd_responses_total responses by error code (code=\"ok\" for 200s)\n# TYPE rmsynd_responses_total counter\n")
@@ -139,5 +212,5 @@ func (m *metrics) write(w io.Writer, cacheLen int, cacheBytes int64) {
 // handleMetrics serves the Prometheus exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, s.cache.Len(), s.cache.Bytes())
+	s.metrics.write(w, s.snapshot())
 }

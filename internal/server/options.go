@@ -235,6 +235,38 @@ func int64Budget(h http.Header, header string, ceiling int64) (int64, error) {
 	return n, nil
 }
 
+// clampBrownout tightens a grant admitted during a memory brownout:
+// every node/cube/step budget is divided by brownoutBudgetDiv
+// (unlimited budgets first assume the default-policy ceilings —
+// "unlimited" is exactly what a brownout cannot afford), and a hedged
+// race basis collapses to auto so sure cones run one arm. Floors of 1
+// keep a tiny granted budget from dividing to 0, which core would read
+// as unlimited. The timeout is untouched: the point is to bound memory,
+// not to renege on the wall clock.
+func (g grant) clampBrownout() grant {
+	def := DefaultPolicy()
+	if g.BDDNodes <= 0 {
+		g.BDDNodes = def.MaxBDDNodes
+	}
+	if g.OFDDNodes <= 0 {
+		g.OFDDNodes = def.MaxOFDDNodes
+	}
+	if g.Cubes <= 0 {
+		g.Cubes = def.MaxCubes
+	}
+	if g.Steps <= 0 {
+		g.Steps = def.MaxSteps
+	}
+	g.BDDNodes = max(g.BDDNodes/brownoutBudgetDiv, 1)
+	g.OFDDNodes = max(g.OFDDNodes/brownoutBudgetDiv, 1)
+	g.Cubes = max(g.Cubes/brownoutBudgetDiv, 1)
+	g.Steps = max(g.Steps/brownoutBudgetDiv, 1)
+	if g.Basis == core.BasisRace {
+		g.Basis = core.BasisAuto
+	}
+	return g
+}
+
 // coreOptions assembles the synthesis configuration for one grant.
 func (g grant) coreOptions() core.Options {
 	opt := core.DefaultOptions()

@@ -125,13 +125,17 @@ func failCode(code, format string, args ...any) *reqError {
 }
 
 // writeError renders the structured error. 429 and 503 carry a
-// Retry-After so well-behaved clients back off instead of hammering.
-func writeError(w http.ResponseWriter, e *reqError, retryAfterSec int) {
+// Retry-After so well-behaved clients back off instead of hammering;
+// the caller supplies it in milliseconds, already jittered — a constant
+// Retry-After synchronizes every client the shed wave turned away into
+// the next one. The header is the ceiling in whole seconds (its wire
+// granularity); the body carries the precise value.
+func writeError(w http.ResponseWriter, e *reqError, retryMS int64) {
 	status := httpStatus(e.code)
 	body := ErrorBody{Schema: Schema, Error: ErrorInfo{Code: e.code, Message: e.msg}}
-	if retryAfterSec > 0 {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
-		body.Error.RetryAfterMS = int64(retryAfterSec) * 1000
+	if retryMS > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt((retryMS+999)/1000, 10))
+		body.Error.RetryAfterMS = retryMS
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

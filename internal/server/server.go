@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -46,6 +47,9 @@ type Hooks struct {
 	// CoreHooks supplies per-request core-level probes, letting a plan
 	// drive the library's fault points through the HTTP path.
 	CoreHooks func() *core.ProbeHooks
+	// MemProbe replaces the brownout monitor's heap-usage reading —
+	// the injected-memory-pressure fault. Nil means real ReadMemStats.
+	MemProbe func() uint64
 }
 
 // Config sizes the server. Zero values mean the documented defaults.
@@ -72,6 +76,22 @@ type Config struct {
 	// SigNodeCap bounds the BDD build of cache signatures (default
 	// sigcache.DefaultSigNodeCap).
 	SigNodeCap int
+	// Adaptive enables the AIMD admission limiter (DESIGN.md §14): the
+	// effective in-system cap moves between 1 and Workers+QueueDepth on
+	// congestion signals. False — the zero value — preserves the static
+	// token gate exactly.
+	Adaptive bool
+	// CacheDir, when set, attaches the crash-safe persistent cache tier
+	// rooted there. The warm scan runs asynchronously; /readyz reports
+	// not-ready until it finishes. DiskCacheBytes bounds the tier
+	// (default sigcache.DefaultDiskBytes).
+	CacheDir       string
+	DiskCacheBytes int64
+	// MemSoftLimit, when non-zero, arms the memory brownout monitor at
+	// that many heap bytes; MemPollInterval is its sampling period
+	// (default 250ms).
+	MemSoftLimit    uint64
+	MemPollInterval time.Duration
 	// Hooks injects faults; nil in production.
 	Hooks *Hooks
 }
@@ -81,7 +101,8 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	pool    *sem
-	admit   chan struct{}
+	lim     *limiter
+	brown   *brownout
 	cache   *sigcache.Cache
 	metrics *metrics
 	mux     *http.ServeMux
@@ -93,9 +114,32 @@ type Server struct {
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 
+	// cacheWarm flips once the persistent tier's recovery scan has
+	// landed (immediately when no CacheDir is configured); /readyz
+	// reports warming until then. stopped flips after Shutdown
+	// completes — the point where /healthz stops reporting live.
+	cacheWarm atomic.Bool
+	stopped   atomic.Bool
+
 	mu       sync.Mutex
 	draining bool
 	jobs     sync.WaitGroup
+
+	// flightMu guards the in-flight registry the brownout monitor picks
+	// force-degrade victims from.
+	flightMu  sync.Mutex
+	flightSeq int64
+	flights   map[int64]*flightRec
+}
+
+// flightRec is one in-flight synthesis as the brownout monitor sees it:
+// weight orders victims by granted budget, cancel trips the flight's
+// run context, forced marks it picked — both so it is not cancelled
+// twice and so runFlight can attribute the degradations truthfully.
+type flightRec struct {
+	weight int64
+	cancel context.CancelFunc
+	forced bool
 }
 
 // New builds a server from cfg.
@@ -124,28 +168,73 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		pool:       newSem(cfg.Workers),
-		admit:      make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		lim:        newLimiter(cfg.Workers+cfg.QueueDepth, cfg.Adaptive),
 		cache:      sigcache.New(cfg.CacheEntries, cfg.CacheBytes),
 		metrics:    newMetrics(),
 		mux:        http.NewServeMux(),
 		baseCtx:    ctx,
 		cancelBase: cancel,
+		flights:    make(map[int64]*flightRec),
+	}
+	var probe func() uint64
+	if cfg.Hooks != nil {
+		probe = cfg.Hooks.MemProbe
+	}
+	s.brown = newBrownout(cfg.MemSoftLimit, cfg.MemPollInterval, probe, s.forceDegradeLargest)
+	if cfg.CacheDir != "" {
+		// The recovery scan runs off the startup path: the server serves
+		// (memory-only) immediately and /readyz reports warming until the
+		// scan lands. A failed open degrades to memory-only — a cache
+		// tier must never take the service down.
+		go func() {
+			d, derr := sigcache.OpenDisk(cfg.CacheDir, cfg.DiskCacheBytes)
+			if derr == nil {
+				s.cache.SetDisk(d)
+			} else {
+				s.metrics.diskOpenFailed.Store(true)
+			}
+			s.cacheWarm.Store(true)
+		}()
+	} else {
+		s.cacheWarm.Store(true)
 	}
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// handleHealthz is liveness only: the process is up and responding. It
+// stays ok through a drain — flipping liveness while in-flight requests
+// are still finishing invites the supervisor to kill a process that is
+// doing exactly what it was asked. Routability lives in /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.isDraining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+	if s.stopped.Load() {
+		http.Error(w, "stopped", http.StatusServiceUnavailable)
 		return
 	}
 	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is routability: whether a load balancer should send the
+// next request here. Not ready while draining (readiness flips before
+// liveness on SIGTERM, in that order), while the persistent cache
+// recovery scan is still running, or while admission is saturated.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.isDraining() || s.stopped.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case !s.cacheWarm.Load():
+		http.Error(w, "warming: persistent cache scan in progress", http.StatusServiceUnavailable)
+	case s.lim.InSystem() >= s.lim.Effective():
+		http.Error(w, "saturated: admission at capacity", http.StatusServiceUnavailable)
+	default:
+		w.Write([]byte("ready\n"))
+	}
 }
 
 // BeginDrain stops admitting new synthesis requests: admission returns
@@ -165,9 +254,14 @@ func (s *Server) ForceCancel() { s.cancelBase() }
 
 // Shutdown drains gracefully: stop admitting, wait for in-flight work,
 // and if ctx expires first, force-cancel so the remaining flights
-// degrade and finish. It returns once every request handler is done.
+// degrade and finish. It returns once every request handler is done,
+// the brownout monitor is stopped, and liveness has flipped.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.BeginDrain()
+	defer func() {
+		s.brown.Stop()
+		s.stopped.Store(true)
+	}()
 	done := make(chan struct{})
 	go func() {
 		s.jobs.Wait()
@@ -208,24 +302,27 @@ func (s *Server) tryEnter() bool {
 func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	if !s.tryEnter() {
 		s.metrics.outcome(codeDraining)
-		writeError(w, failCode(codeDraining, "server is draining; retry against another instance"), 5)
+		writeError(w, failCode(codeDraining, "server is draining; retry against another instance"), jitterMS(5000))
 		return
 	}
 	defer s.jobs.Done()
 
-	// Admission: one token per request in the system (queued or
-	// running). A full channel is the overload signal — shed loudly.
-	select {
-	case s.admit <- struct{}{}:
-		s.metrics.admitted.Add(1)
-	default:
+	// Admission: one in-system slot per request (queued or running),
+	// gated by the limiter's effective cap — the static capacity, or
+	// the AIMD-moved cap when adaptive. A refusal is the overload
+	// signal: shed loudly, feed the control loop, and jitter the
+	// retry horizon so the shed wave does not return in lockstep.
+	if !s.lim.tryAcquire() {
+		s.lim.onShed()
 		s.metrics.shed.Add(1)
 		s.metrics.outcome(codeQueueFull)
-		writeError(w, failCode(codeQueueFull, "admission queue full (%d in system)", cap(s.admit)), 1)
+		writeError(w, failCode(codeQueueFull, "admission queue full (%d in system)", s.lim.Effective()),
+			retryAfterMS(int64(s.lim.InSystem())))
 		return
 	}
+	s.metrics.admitted.Add(1)
 	defer func() {
-		<-s.admit
+		s.lim.release()
 		s.metrics.admitted.Add(-1)
 	}()
 
@@ -268,6 +365,17 @@ func (s *Server) synthesize(w http.ResponseWriter, r *http.Request) string {
 		return codeBadOption
 	}
 
+	// Memory brownout: while the watermark is engaged, new grants are
+	// clamped — budgets divided, hedged races collapsed to one arm — so
+	// admitted work fits the heap that is actually left. The clamp is
+	// volatile (header, not body): a clean clamped run produces the
+	// same bytes as a clean unclamped one, so it stays cacheable.
+	browned := s.brown.Active()
+	if browned {
+		g = g.clampBrownout()
+		s.metrics.brownClamped.Add(1)
+	}
+
 	// Content address: functionally identical submissions — reordered
 	// cover rows, renamed internal signals, regenerated files — land on
 	// the same entry. A cache bypass still coalesces with identical
@@ -283,9 +391,20 @@ func (s *Server) synthesize(w http.ResponseWriter, r *http.Request) string {
 	var degradations int
 	entry, src, ferr := s.cache.GetOrDo(r.Context(), storeKey, flightKey,
 		func() (e *sigcache.Entry, cacheable bool, err error) {
-			e, degradations, err = s.runFlight(circuit, spec, g)
+			e, degradations, err = s.runFlight(circuit, spec, g, browned)
 			return e, err == nil && degradations == 0, err
 		})
+
+	// Feed the admission control loop: a queue timeout or a request
+	// that burned its whole granted clock is a congestion signal; only
+	// real synthesis latencies (clean cache misses) shape the baseline.
+	elapsed := time.Since(start)
+	deadlineMiss := elapsed >= g.Timeout
+	var qt *reqError
+	if errors.As(ferr, &qt) && qt.code == codeQueueTimeout {
+		deadlineMiss = true
+	}
+	s.lim.observe(elapsed, deadlineMiss, src == sigcache.Miss && ferr == nil)
 
 	// The client may have left while its flight (or the one it
 	// coalesced onto) was still running; the work itself continues
@@ -299,9 +418,9 @@ func (s *Server) synthesize(w http.ResponseWriter, r *http.Request) string {
 		if !errors.As(ferr, &re) {
 			re = failCode(codeInternal, "%v", ferr)
 		}
-		retry := 0
+		var retry int64
 		if re.code == codeQueueTimeout {
-			retry = 1
+			retry = jitterMS(1000)
 		}
 		writeError(w, re, retry)
 		return re.code
@@ -313,6 +432,9 @@ func (s *Server) synthesize(w http.ResponseWriter, r *http.Request) string {
 	}
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
+	if browned {
+		h.Set("X-Rmsynd-Brownout", "1")
+	}
 	h.Set("X-Rmsynd-Cache", src.String())
 	h.Set("X-Rmsynd-Elapsed-Ms", strconv.FormatInt(time.Since(start).Milliseconds(), 10))
 	h.Set("X-Rmsynd-Granted-Timeout-Ms", strconv.FormatInt(g.Timeout.Milliseconds(), 10))
@@ -329,7 +451,7 @@ func (s *Server) synthesize(w http.ResponseWriter, r *http.Request) string {
 // synthesis, poisoning-proof verification, serialization. Panics
 // anywhere inside — hooks, core phases outside their own recover, the
 // serializer — are contained here and become a structured 500.
-func (s *Server) runFlight(circuit string, spec *network.Network, g grant) (entry *sigcache.Entry, degradations int, err error) {
+func (s *Server) runFlight(circuit string, spec *network.Network, g grant, browned bool) (entry *sigcache.Entry, degradations int, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.metrics.panics.Add(1)
@@ -341,6 +463,13 @@ func (s *Server) runFlight(circuit string, spec *network.Network, g grant) (entr
 	// the granted wall clock, parented on the server, not the client.
 	ctx, cancel := context.WithTimeout(s.baseCtx, g.Timeout)
 	defer cancel()
+
+	// Register as a brownout victim candidate: if memory pressure peaks
+	// while this flight runs, the monitor may cancel it (largest granted
+	// budget first) and it degrades through the ladder like any budget
+	// trip — verified result, truthful attribution.
+	id := s.registerFlight(g, cancel)
+	defer s.unregisterFlight(id)
 
 	if aerr := s.pool.Acquire(ctx, g.Workers); aerr != nil {
 		return nil, 0, failCode(codeQueueTimeout, "no workers within the %s budget: %v", g.Timeout, aerr)
@@ -369,6 +498,18 @@ func (s *Server) runFlight(circuit string, spec *network.Network, g grant) (entr
 		return nil, 0, failCode(codeSynthFailed, "%v", serr)
 	}
 	s.metrics.absorb(opt.Obs.Snapshot())
+
+	// Truthful attribution: trips under a brownout clamp or a forced
+	// cancel happened because the server shed memory, not because the
+	// client under-budgeted. Degraded results are never cached, so the
+	// prefix cannot leak into a clean entry.
+	if (browned || s.flightForced(id)) && len(res.Degradations) > 0 {
+		for i := range res.Degradations {
+			if !strings.HasPrefix(res.Degradations[i].Reason, "brownout: ") {
+				res.Degradations[i].Reason = "brownout: " + res.Degradations[i].Reason
+			}
+		}
+	}
 
 	if s.cfg.Hooks != nil && s.cfg.Hooks.MutateResult != nil {
 		s.cfg.Hooks.MutateResult(res.Network)
@@ -491,6 +632,62 @@ func isTimeout(err error) bool {
 		strings.Contains(err.Error(), "deadline")
 }
 
+// registerFlight adds one in-flight synthesis to the brownout victim
+// registry and returns its handle.
+func (s *Server) registerFlight(g grant, cancel context.CancelFunc) int64 {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	s.flightSeq++
+	id := s.flightSeq
+	s.flights[id] = &flightRec{
+		weight: int64(g.BDDNodes) + int64(g.OFDDNodes) + g.Cubes,
+		cancel: cancel,
+	}
+	return id
+}
+
+func (s *Server) unregisterFlight(id int64) {
+	s.flightMu.Lock()
+	delete(s.flights, id)
+	s.flightMu.Unlock()
+}
+
+// flightForced reports whether the brownout monitor picked this flight.
+func (s *Server) flightForced(id int64) bool {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	r, ok := s.flights[id]
+	return ok && r.forced
+}
+
+// forceDegradeLargest is the brownout monitor's shed action: cancel the
+// run context of the largest-budget in-flight synthesis not already
+// forced. The flight drains through the degradation ladder and returns
+// a verified, brownout-attributed degraded result — memory is
+// reclaimed without dropping a single response.
+func (s *Server) forceDegradeLargest() bool {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	var (
+		bestID int64
+		best   *flightRec
+	)
+	for id, r := range s.flights {
+		if r.forced {
+			continue
+		}
+		if best == nil || r.weight > best.weight || (r.weight == best.weight && id < bestID) {
+			bestID, best = id, r
+		}
+	}
+	if best == nil {
+		return false
+	}
+	best.forced = true
+	best.cancel()
+	return true
+}
+
 // Cache exposes the result cache for introspection (tests, metrics).
 func (s *Server) Cache() *sigcache.Cache { return s.cache }
 
@@ -498,12 +695,40 @@ func (s *Server) Cache() *sigcache.Cache { return s.cache }
 // the drain-time flush.
 func (s *Server) Metrics() string {
 	var b bytes.Buffer
-	s.metrics.write(&b, s.cache.Len(), s.cache.Bytes())
+	s.metrics.write(&b, s.snapshot())
 	return b.String()
 }
 
-// QueueCapacity reports Workers+QueueDepth — the admission bound, which
-// the overload tests size their bursts against.
-func (s *Server) QueueCapacity() int { return cap(s.admit) }
+// snapshot gathers the scrape-time samples that live outside the
+// metrics struct: cache tiers, admission limiter, brownout monitor.
+func (s *Server) snapshot() statsSnapshot {
+	snap := statsSnapshot{
+		cacheLen:     s.cache.Len(),
+		cacheBytes:   s.cache.Bytes(),
+		memEvictions: s.cache.Evictions(),
+		limEffective: s.lim.Effective(),
+		limInSystem:  s.lim.InSystem(),
+		limMax:       s.lim.max,
+		limAdaptive:  s.lim.adaptive,
+		limShrinks:   s.lim.Shrinks(),
+	}
+	if d := s.cache.Disk(); d != nil {
+		st := d.Stats()
+		snap.disk = &st
+	}
+	snap.brownActive, snap.brownTransitions, snap.brownExits, snap.brownForced, snap.brownUsage, snap.brownSoft = s.brown.stats()
+	return snap
+}
+
+// QueueCapacity reports Workers+QueueDepth — the static admission
+// bound, which the overload tests size their bursts against.
+func (s *Server) QueueCapacity() int { return s.lim.max }
+
+// EffectiveLimit reports the limiter's current cap — equal to
+// QueueCapacity when static, AIMD-moved when adaptive.
+func (s *Server) EffectiveLimit() int { return s.lim.Effective() }
+
+// BrownoutActive reports whether the memory brownout is engaged.
+func (s *Server) BrownoutActive() bool { return s.brown.Active() }
 
 var _ fmt.Stringer = sigcache.Source(0) // metrics.cache relies on this

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrFlightPanicked is what joiners of a flight observe when the
@@ -27,7 +28,7 @@ type Entry struct {
 }
 
 func (e *Entry) size() int64 {
-	return int64(len(e.Body) + len(e.Flow)) + 64
+	return int64(len(e.Body)+len(e.Flow)) + 64
 }
 
 // Source classifies how a GetOrDo call was served.
@@ -36,8 +37,9 @@ type Source int
 // GetOrDo outcomes.
 const (
 	Miss      Source = iota // this call ran fn
-	Hit                     // served from the cache
+	Hit                     // served from the in-memory tier
 	Coalesced               // collapsed onto a concurrent identical call
+	DiskHit                 // served (and promoted) from the disk tier
 )
 
 func (s Source) String() string {
@@ -46,6 +48,8 @@ func (s Source) String() string {
 		return "hit"
 	case Coalesced:
 		return "coalesced"
+	case DiskHit:
+		return "disk"
 	}
 	return "miss"
 }
@@ -71,6 +75,15 @@ type Cache struct {
 	ll         *list.List // front = most recently used
 	items      map[string]*list.Element
 	flights    map[string]*flight
+
+	// disk, when set, is the persistent tier behind the memory LRU:
+	// memory misses consult it before synthesizing, cacheable results
+	// write through to it, and entries found there are promoted into
+	// memory. Atomic because the server attaches it asynchronously
+	// (the warm scan must not delay startup). See DiskStore for the
+	// crash-safety contract.
+	disk      atomic.Pointer[DiskStore]
+	evictions atomic.Int64
 }
 
 type lruItem struct {
@@ -109,10 +122,21 @@ func (c *Cache) Get(key string) *Entry {
 }
 
 // Put inserts (or replaces) the entry under key, evicting LRU entries
-// until the bounds hold again. Entries bigger than the byte budget are
-// dropped silently — the caller's result is unaffected, it just will
-// not be a future hit.
+// until the bounds hold again, and writes through to the disk tier when
+// one is attached. Entries bigger than the byte budget are dropped
+// silently — the caller's result is unaffected, it just will not be a
+// future hit.
 func (c *Cache) Put(key string, e *Entry) {
+	c.putMem(key, e)
+	if d := c.disk.Load(); d != nil {
+		d.Put(key, e)
+	}
+}
+
+// putMem inserts into the memory LRU only — the promotion path for
+// entries that just came *from* the disk tier, which rewriting would
+// only churn.
+func (c *Cache) putMem(key string, e *Entry) {
 	if e == nil || e.size() > c.maxBytes {
 		return
 	}
@@ -136,8 +160,20 @@ func (c *Cache) Put(key string, e *Entry) {
 		c.ll.Remove(el)
 		delete(c.items, it.key)
 		c.bytes -= it.entry.size()
+		c.evictions.Add(1)
 	}
 }
+
+// SetDisk attaches a persistent tier. Safe to call while traffic is
+// flowing — requests admitted before the attach simply miss to a
+// synthesis, exactly as a memory-only cache would.
+func (c *Cache) SetDisk(d *DiskStore) { c.disk.Store(d) }
+
+// Disk returns the attached persistent tier, or nil.
+func (c *Cache) Disk() *DiskStore { return c.disk.Load() }
+
+// Evictions returns how many entries the memory LRU has evicted.
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }
 
 // Len returns the current entry count.
 func (c *Cache) Len() int {
@@ -159,6 +195,8 @@ func (c *Cache) Bytes() int64 {
 // joins an existing flight or becomes the leader of a new one.
 //
 //   - Hit: the stored entry is returned immediately.
+//   - DiskHit: the leader found the entry in the persistent tier; it is
+//     promoted into memory and published to joiners without running fn.
 //   - Leader (Miss): fn runs on the calling goroutine — to completion,
 //     regardless of ctx; fn carries its own deadline discipline. Its
 //     result is published to every joiner, and stored under storeKey
@@ -207,6 +245,20 @@ func (c *Cache) GetOrDo(ctx context.Context, storeKey, flightKey string,
 		}
 		close(f.done)
 	}()
+
+	// Disk tier: the flight leader consults the persistent store before
+	// synthesizing, so concurrent identical requests coalesce onto one
+	// disk read exactly as they would onto one synthesis. A verified
+	// entry is promoted into the memory LRU (not rewritten to disk).
+	if d := c.disk.Load(); storeKey != "" && d != nil {
+		if e := d.Get(storeKey); e != nil {
+			panicked = false
+			f.entry = e
+			c.putMem(storeKey, e)
+			return e, DiskHit, nil
+		}
+	}
+
 	e, cacheable, err := fn()
 	panicked = false
 	f.entry, f.err = e, err
