@@ -17,6 +17,22 @@
 //	                              # increase, new degradation, or
 //	                              # verification failure
 //
+// Scaling mode (generated word-level arithmetic instead of the fixed
+// table; see internal/wordgen):
+//
+//	rmbench -family mul -widths 4:64         # literals/time vs operand width
+//	rmbench -family add,cla,gfmul -widths 4:32
+//	rmbench -family mul -widths 4:32 -json scale.json
+//	rmbench -family mul -widths 4:32 -check scale_baseline.json
+//	rmbench -check scale_baseline.json       # re-measure the whole curve
+//
+// -check dispatches on the baseline's schema field: an rmbench/v1 file
+// gates the Table 2 run, an rmscale/v1 file gates the scaling sweep.
+// Every scale instance is verified against its word-level spec — the
+// algebraic backward-rewriting engine where BDDs blow up — and the gate
+// applies the same one-sided discipline as the table gate, with wall
+// time held only to a generous tolerance plus a log-log slope check.
+//
 // Exit codes: 0 success, 2 I/O failure or interrupt (Ctrl-C/SIGTERM; the
 // running circuit drains through the degradation ladder and every
 // completed row is still printed and flushed to the CSV and JSON
@@ -64,9 +80,29 @@ func main() {
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "derivation worker count (per-output FPRM fan-out)")
 		retry    = flag.Float64("retry-factor", core.DefaultOptions().RetryFactor, "budget scale for the ladder's one retry of a transiently tripped output (0 = no retry)")
 		jsonPath = flag.String("json", "", "write the machine-readable benchmark report to this file")
-		check    = flag.String("check", "", "baseline report to gate against (runs the baseline's circuits unless -only/-arith narrows further)")
+		check    = flag.String("check", "", "baseline report to gate against (rmbench/v1 or rmscale/v1; schema-dispatched)")
+		family   = flag.String("family", "", "scaling mode: comma-separated wordgen families to sweep (add, cla, mul, wallace, parity, hamming, gfmul)")
+		widths   = flag.String("widths", "4:32", "scaling mode: width sweep, lo:hi doubling (4:64 = 4,8,16,32,64) or an explicit list (4,6,12)")
+		poly     = flag.String("poly", "", "scaling mode: gfmul reduction polynomial override, e.g. 0x11B")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels the circuit in flight through the budget
+	// path; the loop below then stops between circuits so every finished
+	// row still reaches the table and the CSV.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The scaling mode takes over when a family sweep is requested or
+	// the -check baseline is an rmscale/v1 artifact.
+	if *family != "" || scaleCheckRequested(*check) {
+		scaleMain(scaleFlags{
+			families: *family, widths: *widths, poly: *poly,
+			jsonPath: *jsonPath, check: *check,
+			method: *method, basis: *basisF, retry: *retry,
+			jobs: *jobs, timeout: *timeout, maxNodes: *maxNodes,
+		}, sigCtx)
+	}
 
 	// Load the baseline first: a bad path should fail before an hour of
 	// benchmarking, and its circuit list defines the default run set.
@@ -78,12 +114,6 @@ func main() {
 		}
 		baseRep = rep
 	}
-
-	// Ctrl-C / SIGTERM cancels the circuit in flight through the budget
-	// path; the loop below then stops between circuits so every finished
-	// row still reaches the table and the CSV.
-	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	opt := bench.DefaultOptions()
 	opt.Core.Method = core.Method(*method)

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/wordgen"
+)
+
+// scaleFlags carries the scaling-mode configuration out of main's flag
+// set.
+type scaleFlags struct {
+	families string // comma-separated wordgen families
+	widths   string // width sweep, e.g. "4:32" or "4,6,12"
+	poly     string // gfmul reduction polynomial override
+	jsonPath string
+	check    string
+	method   int
+	basis    string
+	retry    float64
+	jobs     int
+	timeout  time.Duration
+	maxNodes int
+}
+
+// scaleMain runs the scaling-curve mode: generate each (family, width)
+// instance, synthesize it with the paper's flow under deterministic
+// caps, verify it against its word-level spec (algebraic mode for the
+// wide ones), map it, stream the rmscale/v1 artifact, and gate against
+// the committed baseline. It never returns.
+func scaleMain(f scaleFlags, sigCtx context.Context) {
+	var baseRep *bench.ScaleReport
+	if f.check != "" {
+		rep, err := bench.ReadScaleReport(f.check)
+		if err != nil {
+			fail(err)
+		}
+		baseRep = rep
+	}
+
+	// The run set: -family/-widths when given, otherwise exactly the
+	// baseline's points (the CI invocation `rmbench -check
+	// scale_baseline.json` re-measures the whole committed curve).
+	var specs []*wordgen.Spec
+	if f.families != "" {
+		widths, err := bench.ParseWidths(f.widths)
+		if err != nil {
+			fail(err)
+		}
+		fams := strings.Split(f.families, ",")
+		var poly *big.Int
+		if f.poly != "" {
+			if len(fams) != 1 || fams[0] != "gfmul" {
+				fail(fmt.Errorf("-poly only applies to -family gfmul"))
+			}
+			p, ok := new(big.Int).SetString(f.poly, 0)
+			if !ok {
+				fail(fmt.Errorf("bad polynomial %q", f.poly))
+			}
+			poly = p
+		}
+		for _, fam := range fams {
+			for _, w := range widths {
+				var s *wordgen.Spec
+				var err error
+				if poly != nil {
+					s, err = wordgen.GenerateGF(w, poly)
+				} else {
+					s, err = wordgen.Generate(strings.TrimSpace(fam), w)
+				}
+				if err != nil {
+					fail(err)
+				}
+				specs = append(specs, s)
+			}
+		}
+	} else if baseRep != nil {
+		for _, p := range baseRep.Points {
+			s, err := wordgen.ByName(p.Name)
+			if err != nil {
+				fail(fmt.Errorf("baseline point %s: %w", p.Name, err))
+			}
+			specs = append(specs, s)
+		}
+	} else {
+		fail(fmt.Errorf("scaling mode needs -family or an rmscale/v1 -check baseline"))
+	}
+
+	opt := bench.DefaultScaleOptions()
+	opt.Core.Method = core.Method(f.method)
+	basis, err := core.ParseBasis(f.basis)
+	if err != nil {
+		fail(err)
+	}
+	opt.Core.Basis = basis
+	opt.Core.RetryFactor = f.retry
+	opt.Workers = f.jobs
+	if f.maxNodes > 0 {
+		opt.Core.MaxBDDNodes = f.maxNodes
+		opt.Core.MaxOFDDNodes = f.maxNodes
+	}
+
+	var jsonFile *os.File
+	if f.jsonPath != "" {
+		file, err := os.Create(f.jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		jsonFile = file
+	}
+	flushJSON := func(points []bench.ScalePoint) error {
+		if jsonFile == nil {
+			return nil
+		}
+		if _, err := jsonFile.Seek(0, 0); err != nil {
+			return err
+		}
+		if err := jsonFile.Truncate(0); err != nil {
+			return err
+		}
+		return bench.BuildScaleReport(points).WriteJSON(jsonFile)
+	}
+
+	fmt.Fprintf(os.Stderr, "scaling sweep: %d points, derivation workers: %d\n", len(specs), f.jobs)
+	fmt.Printf("%-12s %-9s | %7s %7s %7s | %3s | %-10s | %9s\n",
+		"instance", "I/O", "lits", "mapgat", "maplit", "deg", "verify", "time")
+	fmt.Println(strings.Repeat("-", 84))
+	var points []bench.ScalePoint
+	interrupted := false
+	for _, s := range specs {
+		if sigCtx.Err() != nil {
+			interrupted = true
+			break
+		}
+		ctx := sigCtx
+		if f.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(sigCtx, f.timeout)
+			defer cancel()
+		}
+		opt.Ctx = ctx
+		pt := bench.RunScalePoint(s, opt)
+		points = append(points, pt)
+		if pt.Err != "" {
+			fmt.Printf("%-12s %-9s | ERROR: %s\n", pt.Name, fmt.Sprintf("%d/%d", pt.In, pt.Out), pt.Err)
+		} else {
+			verdict := "FAILED"
+			if pt.Verified {
+				verdict = "ok/" + pt.VerifyMode
+			}
+			fmt.Printf("%-12s %-9s | %7d %7d %7d | %3d | %-10s | %8.1fms\n",
+				pt.Name, fmt.Sprintf("%d/%d", pt.In, pt.Out),
+				pt.OursLits, pt.MapGates, pt.MapLits, pt.Degradations, verdict, pt.TimeMS)
+		}
+		if err := flushJSON(points); err != nil {
+			fail(err)
+		}
+	}
+	interrupted = interrupted || sigCtx.Err() != nil
+
+	if jsonFile != nil {
+		werr := flushJSON(points)
+		if err := jsonFile.Close(); werr == nil {
+			werr = err
+		}
+		if werr != nil {
+			fail(werr)
+		}
+		fmt.Printf("wrote %s\n", f.jsonPath)
+	}
+
+	if baseRep != nil && !interrupted {
+		regs := bench.CheckScale(bench.BuildScaleReport(points), baseRep)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "rmbench: %d scaling regression(s) against %s:\n", len(regs), f.check)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  "+r.String())
+			}
+			os.Exit(exitRegress)
+		}
+		fmt.Printf("scaling gate: %d points checked against %s, no regressions\n", len(points), f.check)
+	}
+	if interrupted {
+		fail(fmt.Errorf("interrupted after %d points; partial artifact flushed", len(points)))
+	}
+	os.Exit(0)
+}
+
+// scaleCheckRequested reports whether -check names an rmscale/v1 file,
+// which routes a bare `rmbench -check scale_baseline.json` into the
+// scaling mode without -family.
+func scaleCheckRequested(check string) bool {
+	if check == "" {
+		return false
+	}
+	schema, err := bench.SniffSchema(check)
+	return err == nil && schema == bench.ScaleSchema
+}

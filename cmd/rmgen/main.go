@@ -1,0 +1,120 @@
+// Command rmgen generates word-level arithmetic benchmark circuits at
+// arbitrary operand widths: the paper's target family (adders, parity
+// and Hamming ECC encoders, multipliers) plus GF(2^k) multipliers, each
+// with a word-level golden model the synthesis flow can be verified
+// against (see rmbench's scaling mode and internal/verify's algebraic
+// checker).
+//
+// Usage:
+//
+//	rmgen -list                       # the generator families
+//	rmgen mul16                       # BLIF of a 16x16 array multiplier
+//	rmgen -family gfmul -width 8      # GF(2^8) multiplier, default polynomial
+//	rmgen -family gfmul -width 8 -poly 0x12B
+//	rmgen -format pla add4            # PLA (narrow circuits only)
+//	rmgen -o mul16.blif mul16         # write to a file
+//	rmgen -selfcheck mul32            # verify the generated netlist
+//	                                  # against its own golden model
+//
+// Exit codes: 0 success, 2 usage or generation failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+
+	"repro/internal/verify"
+	"repro/internal/wordgen"
+)
+
+const exitFail = 2
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rmgen:", err)
+	os.Exit(exitFail)
+}
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list the generator families and exit")
+		family    = flag.String("family", "", "generator family (see -list)")
+		width     = flag.Int("width", 0, "operand width in bits")
+		polyF     = flag.String("poly", "", "irreducible reduction polynomial for gfmul, e.g. 0x11B (default: smallest irreducible of the right degree)")
+		format    = flag.String("format", "blif", "output format: blif | pla (pla limited to narrow circuits)")
+		out       = flag.String("o", "", "output file (default stdout)")
+		selfcheck = flag.Bool("selfcheck", false, "verify the generated network against its word-level golden model and report the engine used")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %-6s %s\n", "family", "minw", "description")
+		for _, f := range wordgen.Families() {
+			fmt.Printf("%-10s %-6d %s\n", f.Name, f.MinWidth, f.Description)
+		}
+		return
+	}
+
+	var spec *wordgen.Spec
+	var err error
+	switch {
+	case flag.NArg() == 1 && *family == "":
+		// Positional form: rmgen mul16.
+		spec, err = wordgen.ByName(flag.Arg(0))
+	case flag.NArg() == 0 && *family != "" && *width > 0:
+		if *polyF != "" {
+			if *family != "gfmul" {
+				fail(fmt.Errorf("-poly only applies to the gfmul family"))
+			}
+			p, ok := new(big.Int).SetString(*polyF, 0)
+			if !ok {
+				fail(fmt.Errorf("bad polynomial %q (want e.g. 0x11B)", *polyF))
+			}
+			spec, err = wordgen.GenerateGF(*width, p)
+		} else {
+			spec, err = wordgen.Generate(*family, *width)
+		}
+	default:
+		fail(fmt.Errorf("usage: rmgen <name> | rmgen -family f -width w [-poly p]; see rmgen -list"))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if *selfcheck {
+		r, err := verify.Word(spec.Net, spec, verify.WordOptions{})
+		if err != nil {
+			fail(fmt.Errorf("%s: selfcheck: %w", spec.Name, err))
+		}
+		if !r.OK {
+			fail(fmt.Errorf("%s: selfcheck FAILED: %s", spec.Name, r.Mismatch))
+		}
+		fmt.Fprintf(os.Stderr, "rmgen: %s verified (%s engine, %d shards)\n", spec, r.Mode, r.Shards)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "blif":
+		err = spec.WriteBLIF(w)
+	case "pla":
+		err = spec.WritePLA(w)
+	default:
+		err = fmt.Errorf("unknown format %q (want blif or pla)", *format)
+	}
+	if err != nil {
+		fail(err)
+	}
+}

@@ -29,3 +29,21 @@ func TestChaosSweep(t *testing.T) {
 		t.Errorf("%s", v)
 	}
 }
+
+// TestChaosSweepGenerated runs the fault-injection sweep over generated
+// word-level instances (wordgen via bench.Resolve) instead of the fixed
+// Table 2 set: an adder and a GF(2^4) multiplier, small enough to keep
+// the full plan matrix fast but with genuinely multi-output arithmetic
+// structure.
+func TestChaosSweepGenerated(t *testing.T) {
+	opt := SweepOptions{
+		Circuits:    []string{"add4", "gfmul4"},
+		RandomPlans: 2,
+	}
+	if testing.Verbose() {
+		opt.Logf = t.Logf
+	}
+	for _, v := range Sweep(opt) {
+		t.Errorf("%s", v)
+	}
+}

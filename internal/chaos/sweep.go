@@ -15,9 +15,10 @@ import (
 // default deterministic plan set over a small, fast circuit subset at
 // one and four workers.
 type SweepOptions struct {
-	// Circuits are Table 2 bench circuit names (bench.ByName). Empty
-	// means a small default subset chosen to keep the sweep fast while
-	// covering single- and multi-output circuits.
+	// Circuits are Table 2 bench circuit names or generated word-level
+	// instances like add4/gfmul8 (bench.Resolve). Empty means a small
+	// default subset chosen to keep the sweep fast while covering
+	// single- and multi-output circuits.
 	Circuits []string
 	// Workers are the worker counts every plan runs at; identity is
 	// asserted across all of them. Empty means {1, 4}.
@@ -97,7 +98,7 @@ func Sweep(opt SweepOptions) []Violation {
 
 	var vs []Violation
 	for _, name := range circuits {
-		c, ok := bench.ByName(name)
+		c, ok := bench.Resolve(name)
 		if !ok {
 			vs = append(vs, Violation{Circuit: name, Invariant: "setup", Detail: "unknown bench circuit"})
 			continue

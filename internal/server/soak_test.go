@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strconv"
@@ -245,8 +246,31 @@ func startRmsynd(t *testing.T, bin string, args ...string) *instance {
 			cmd.Process.Kill()
 			<-inst.done
 		}
+		inst.dumpLog(t)
 	})
 	return inst
+}
+
+// dumpLog writes the instance's captured stderr to $RMSYND_LOG_DIR when
+// the test failed. CI points the variable at a scratch directory and
+// uploads it as an artifact on failure, so a soak flake ships the full
+// server log instead of a bare exit code.
+func (in *instance) dumpLog(t *testing.T) {
+	dir := os.Getenv("RMSYND_LOG_DIR")
+	if dir == "" || !t.Failed() {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("RMSYND_LOG_DIR: %v", err)
+		return
+	}
+	name := strings.ReplaceAll(t.Name(), "/", "-")
+	path := filepath.Join(dir, fmt.Sprintf("%s-pid%d.log", name, in.cmd.Process.Pid))
+	if err := os.WriteFile(path, []byte(in.stderr.String()+"\n"), 0o644); err != nil {
+		t.Logf("writing rmsynd log: %v", err)
+		return
+	}
+	t.Logf("rmsynd stderr captured to %s", path)
 }
 
 // drain sends SIGTERM and asserts the documented contract: exit code 0

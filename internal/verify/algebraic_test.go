@@ -1,0 +1,258 @@
+package verify
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/network"
+	"repro/internal/wordgen"
+)
+
+func mustSpec(t *testing.T, name string) *wordgen.Spec {
+	t.Helper()
+	s, err := wordgen.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestWordAllFamilies: every family verifies against its own generated
+// network in every engine that applies at the width.
+func TestWordAllFamilies(t *testing.T) {
+	for _, name := range []string{"add6", "cla6", "mul4", "wallace4", "parity8", "hamming8", "gfmul4"} {
+		s := mustSpec(t, name)
+		for _, mode := range []Mode{ModeAlgebraic, ModeBDD, ModeSim, ModeAuto} {
+			r, err := Word(s.Net, s, WordOptions{Mode: mode})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, mode, err)
+			}
+			if !r.OK {
+				t.Fatalf("%s/%s: reported mismatch: %s", name, mode, r.Mismatch)
+			}
+		}
+	}
+}
+
+// TestWordWide: algebraic checks on widths where PLA/exhaustive methods
+// are already out of reach. cla is absent deliberately: parallel-prefix
+// carry logic is the algebraic engine's known blowup case and is
+// checked by the BDD engine instead (TestWordPrefixAdder).
+func TestWordWide(t *testing.T) {
+	for _, name := range []string{"add64", "mul16", "wallace12", "parity64", "hamming32", "gfmul24"} {
+		s := mustSpec(t, name)
+		r, err := Word(s.Net, s, WordOptions{Mode: ModeAlgebraic})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !r.OK {
+			t.Fatalf("%s: mismatch: %s", name, r.Mismatch)
+		}
+		if r.Monomials == 0 {
+			t.Errorf("%s: algebraic run reported zero peak monomials", name)
+		}
+	}
+}
+
+// TestWordCatchesBugs: a deliberately corrupted network must be caught
+// by every engine, with the mismatch localized to a word (and to a bit
+// for the per-bit engines).
+func TestWordCatchesBugs(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(n *network.Network)
+	}{
+		// Swap an adder's middle sum output for its neighbor's driver.
+		{"add8", func(n *network.Network) { n.POs[3].Gate = n.POs[4].Gate }},
+		// Redirect a multiplier product bit to a PI.
+		{"mul4", func(n *network.Network) { n.POs[2].Gate = n.PIs[0] }},
+		// Flip a parity tree to a constant.
+		{"parity16", func(n *network.Network) { n.POs[0].Gate = n.AddGate(network.Const1) }},
+		// Damage one Hamming parity bit.
+		{"hamming8", func(n *network.Network) { n.POs[len(n.POs)-1].Gate = n.PIs[1] }},
+		// Drop a GF multiplier output to another output's cone.
+		{"gfmul6", func(n *network.Network) { n.POs[1].Gate = n.POs[2].Gate }},
+	}
+	for _, tc := range cases {
+		for _, mode := range []Mode{ModeAlgebraic, ModeBDD} {
+			s := mustSpec(t, tc.name)
+			net := s.Net.Clone()
+			tc.corrupt(net)
+			r, err := Word(net, s, WordOptions{Mode: mode})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, mode, err)
+			}
+			if r.OK {
+				t.Fatalf("%s/%s: corrupted network verified", tc.name, mode)
+			}
+			if r.Mismatch == nil || r.Mismatch.Word == "" {
+				t.Fatalf("%s/%s: mismatch not localized: %+v", tc.name, mode, r)
+			}
+		}
+	}
+}
+
+// TestWordMismatchLocalization pins the satellite bugfix: a width-
+// mismatched word-level spec reports the offending word and bit index,
+// not a generic count error.
+func TestWordMismatchLocalization(t *testing.T) {
+	s := mustSpec(t, "add8")
+
+	// A network with one PO too few: the spec's cout word names a PO
+	// position past the end.
+	short := s.Net.Clone()
+	short.POs = short.POs[:len(short.POs)-1]
+	_, err := Word(short, s, WordOptions{})
+	var shape *WordShapeError
+	if !asShape(err, &shape) {
+		t.Fatalf("expected WordShapeError, got %v", err)
+	}
+	if shape.Side != "output" || shape.Word != "cout" || shape.Reason != "out of range" {
+		t.Fatalf("wrong localization: %+v", shape)
+	}
+	if !strings.Contains(shape.Error(), "cout") {
+		t.Fatalf("error text does not name the word: %s", shape)
+	}
+
+	// A network with an extra dangling PO: coverage error.
+	wide := s.Net.Clone()
+	wide.AddPO("extra", wide.PIs[0])
+	_, err = Word(wide, s, WordOptions{})
+	if !asShape(err, &shape) {
+		t.Fatalf("expected WordShapeError, got %v", err)
+	}
+	if shape.Reason != "incomplete cover" || shape.Side != "output" {
+		t.Fatalf("wrong coverage localization: %+v", shape)
+	}
+
+	// Per-bit engines name the word and bit of a functional mismatch.
+	bad := s.Net.Clone()
+	g := mustSpec(t, "gfmul6")
+	badg := g.Net.Clone()
+	badg.POs[3].Gate = badg.PIs[0]
+	r, err := Word(badg, g, WordOptions{Mode: ModeAlgebraic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK || r.Mismatch.Word != "z" || r.Mismatch.Bit != 3 {
+		t.Fatalf("per-bit mismatch not localized to z[3]: %+v", r.Mismatch)
+	}
+	_ = bad
+}
+
+func asShape(err error, out **WordShapeError) bool {
+	se, ok := err.(*WordShapeError)
+	if ok {
+		*out = se
+	}
+	return ok
+}
+
+// TestWordDeterminism: worker count must not change any reported field.
+// This is the -j1 vs -j4 bit-identity acceptance criterion at unit
+// scale (the mul32 test repeats it at full scale).
+func TestWordDeterminism(t *testing.T) {
+	for _, name := range []string{"mul10", "add32", "gfmul16", "hamming16"} {
+		s := mustSpec(t, name)
+		var results []*WordResult
+		for _, j := range []int{1, 4} {
+			r, err := Word(s.Net, s, WordOptions{Mode: ModeAlgebraic, Workers: j})
+			if err != nil {
+				t.Fatalf("%s j=%d: %v", name, j, err)
+			}
+			results = append(results, r)
+		}
+		if !reflect.DeepEqual(results[0], results[1]) {
+			t.Errorf("%s: -j1 %+v != -j4 %+v", name, results[0], results[1])
+		}
+	}
+}
+
+// TestWordBudgetTrip: the algebraic engine must stop with a budget
+// error — not run unbounded — when the caps are tiny.
+func TestWordBudgetTrip(t *testing.T) {
+	s := mustSpec(t, "mul12")
+	bud := budget.New(nil, budget.Limits{Steps: 100})
+	_, err := Word(s.Net, s, WordOptions{Mode: ModeAlgebraic, Budget: bud})
+	if !budget.IsExceeded(err) {
+		t.Fatalf("expected budget trip, got %v", err)
+	}
+}
+
+// TestMul32AlgebraicBeatsBDD is the headline acceptance criterion: on a
+// generated 32x32 array multiplier, backward rewriting over Z confirms
+// the word-level spec while the BDD word checker cannot finish under
+// the same budget limits; and the algebraic verdict is bit-identical at
+// one and four workers.
+func TestMul32AlgebraicBeatsBDD(t *testing.T) {
+	s := mustSpec(t, "mul32")
+	lim := budget.Limits{BDDNodes: 2_000_000, Steps: 20_000_000}
+
+	var results []*WordResult
+	for _, j := range []int{1, 4} {
+		r, err := Word(s.Net, s, WordOptions{Mode: ModeAlgebraic, Workers: j, Budget: budget.New(nil, lim)})
+		if err != nil {
+			t.Fatalf("algebraic j=%d: %v", j, err)
+		}
+		if !r.OK {
+			t.Fatalf("algebraic j=%d: mismatch: %s", j, r.Mismatch)
+		}
+		results = append(results, r)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Fatalf("mul32: -j1 %+v != -j4 %+v", results[0], results[1])
+	}
+
+	// The same caps must stop the BDD word checker: a 32x32 multiplier
+	// BDD is exponential in the operand width.
+	_, err := Word(s.Net, s, WordOptions{Mode: ModeBDD, Budget: budget.New(nil, lim)})
+	if !budget.IsExceeded(err) {
+		t.Fatalf("BDD checker finished mul32 under the shared budget (err=%v) — limits too loose", err)
+	}
+}
+
+// TestWordAutoFallsBack: auto mode uses BDDs for narrow instances and
+// the algebraic engine for wide ones.
+func TestWordAutoFallsBack(t *testing.T) {
+	narrow := mustSpec(t, "add8") // 16 PIs -> BDD territory
+	r, err := Word(narrow.Net, narrow, WordOptions{Mode: ModeAuto})
+	if err != nil || !r.OK {
+		t.Fatalf("add8 auto: %v %+v", err, r)
+	}
+	if r.Mode != "bdd" {
+		t.Errorf("add8 auto picked %s, want bdd", r.Mode)
+	}
+	wide := mustSpec(t, "mul16") // 32 PIs -> algebraic
+	r, err = Word(wide.Net, wide, WordOptions{Mode: ModeAuto})
+	if err != nil || !r.OK {
+		t.Fatalf("mul16 auto: %v %+v", err, r)
+	}
+	if r.Mode != "algebraic" {
+		t.Errorf("mul16 auto picked %s, want algebraic", r.Mode)
+	}
+}
+
+// TestWordPrefixAdder: the Kogge-Stone lookahead adder — the algebraic
+// engine's blowup case — verifies via BDDs in linear size thanks to the
+// interleaved variable order, and ModeAuto routes integer adders there
+// at any width.
+func TestWordPrefixAdder(t *testing.T) {
+	s := mustSpec(t, "cla48")
+	lim := budget.Limits{BDDNodes: 2_000_000, Steps: 20_000_000}
+	r, err := Word(s.Net, s, WordOptions{Mode: ModeBDD, Budget: budget.New(nil, lim)})
+	if err != nil {
+		t.Fatalf("cla48 bdd: %v", err)
+	}
+	if !r.OK {
+		t.Fatalf("cla48 bdd: mismatch: %s", r.Mismatch)
+	}
+	r, err = Word(s.Net, s, WordOptions{Mode: ModeAuto, Budget: budget.New(nil, lim)})
+	if err != nil || !r.OK {
+		t.Fatalf("cla48 auto: %v %+v", err, r)
+	}
+	if r.Mode != "bdd" {
+		t.Errorf("cla48 auto picked %s, want bdd", r.Mode)
+	}
+}

@@ -1,0 +1,365 @@
+package verify
+
+import (
+	"encoding/binary"
+	"math/big"
+	"sort"
+
+	"repro/internal/budget"
+	"repro/internal/network"
+)
+
+// This file holds the polynomial machinery of the algebraic
+// (Yu/Ciesielski-style) verification mode: pseudo-Boolean polynomials
+// over Z with exact big.Int coefficients, GF(2) polynomials (Zhegalkin
+// forms), and the per-gate definition polynomials the backward rewriter
+// substitutes. Monomials are sets of network gate IDs (x^2 = x for 0/1
+// variables, so a sorted duplicate-free ID list is canonical); during
+// rewriting internal gate IDs are eliminated until only PI IDs remain.
+
+// monoKey encodes a sorted variable-ID list as a compact map key.
+func monoKey(vars []int) string {
+	buf := make([]byte, 0, len(vars)*2+4)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range vars {
+		n := binary.PutUvarint(tmp[:], uint64(v))
+		buf = append(buf, tmp[:n]...)
+	}
+	return string(buf)
+}
+
+// unionVars merges two sorted duplicate-free variable lists (monomial
+// product under idempotence).
+func unionVars(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// zterm is one monomial of a Z-polynomial.
+type zterm struct {
+	vars []int
+	coef *big.Int
+}
+
+// zpoly is a pseudo-Boolean polynomial over Z in multilinear normal
+// form, with an occurrence index so the backward rewriter finds the
+// monomials containing a given variable without scanning.
+type zpoly struct {
+	terms map[string]*zterm
+	occ   map[int]map[string]bool // variable -> keys of terms containing it
+}
+
+func newZPoly() *zpoly {
+	return &zpoly{terms: map[string]*zterm{}, occ: map[int]map[string]bool{}}
+}
+
+func (p *zpoly) len() int { return len(p.terms) }
+
+// add accumulates c * prod(vars); zero-sum terms vanish. vars must be
+// sorted and duplicate-free; the slice is not retained by the caller.
+func (p *zpoly) add(vars []int, c *big.Int) {
+	if c.Sign() == 0 {
+		return
+	}
+	k := monoKey(vars)
+	if t, ok := p.terms[k]; ok {
+		t.coef.Add(t.coef, c)
+		if t.coef.Sign() == 0 {
+			delete(p.terms, k)
+			for _, v := range t.vars {
+				delete(p.occ[v], k)
+			}
+		}
+		return
+	}
+	t := &zterm{vars: vars, coef: new(big.Int).Set(c)}
+	p.terms[k] = t
+	for _, v := range vars {
+		m := p.occ[v]
+		if m == nil {
+			m = map[string]bool{}
+			p.occ[v] = m
+		}
+		m[k] = true
+	}
+}
+
+// remove deletes the term under key k and returns it.
+func (p *zpoly) remove(k string) *zterm {
+	t := p.terms[k]
+	delete(p.terms, k)
+	for _, v := range t.vars {
+		delete(p.occ[v], k)
+	}
+	return t
+}
+
+// without returns vars with v removed (vars contains v exactly once).
+func without(vars []int, v int) []int {
+	out := make([]int, 0, len(vars)-1)
+	for _, x := range vars {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// defTerm is one monomial of a gate-definition polynomial.
+type defTerm struct {
+	vars []int
+	coef *big.Int
+}
+
+// gateDefZ returns the multilinear Z-polynomial of a gate over its
+// fanin IDs: the unique polynomial agreeing with the gate function on
+// {0,1} inputs. Multi-input OR/XOR expand pairwise; the expansion size
+// is 2^k for a k-input XOR, which budget caps bound at the caller.
+func gateDefZ(t network.GateType, fanins []int) []defTerm {
+	one := big.NewInt(1)
+	switch t {
+	case network.Const0:
+		return nil
+	case network.Const1:
+		return []defTerm{{nil, one}}
+	case network.Buf:
+		return []defTerm{{sortedVars(fanins[:1]), one}}
+	case network.Not:
+		return []defTerm{{nil, one}, {sortedVars(fanins[:1]), big.NewInt(-1)}}
+	case network.And:
+		return []defTerm{{sortedVars(fanins), one}}
+	case network.Nand:
+		return []defTerm{{nil, one}, {sortedVars(fanins), big.NewInt(-1)}}
+	case network.Or, network.Nor:
+		// 1 - prod(1 - fi), expanded; Nor keeps prod(1 - fi).
+		prod := []defTerm{{nil, big.NewInt(1)}}
+		for _, f := range fanins {
+			prod = defMul(prod, []defTerm{{nil, big.NewInt(1)}, {[]int{f}, big.NewInt(-1)}})
+		}
+		if t == network.Nor {
+			return prod
+		}
+		return defSub1(prod)
+	case network.Xor, network.Xnor:
+		// Fold x XOR y = x + y - 2xy pairwise.
+		acc := []defTerm{{[]int{fanins[0]}, big.NewInt(1)}}
+		for _, f := range fanins[1:] {
+			y := []defTerm{{[]int{f}, big.NewInt(1)}}
+			xy := defMul(acc, y)
+			next := append([]defTerm{}, acc...)
+			next = append(next, y...)
+			for _, t := range xy {
+				next = append(next, defTerm{t.vars, new(big.Int).Mul(t.coef, big.NewInt(-2))})
+			}
+			acc = defCombine(next)
+		}
+		if t == network.Xnor {
+			return defSub1(acc)
+		}
+		return acc
+	}
+	// PI has no definition; the rewriter never asks for one.
+	panic("verify: gateDefZ on " + t.String())
+}
+
+func sortedVars(vs []int) []int {
+	out := append([]int(nil), vs...)
+	sort.Ints(out)
+	// Collapse duplicates (idempotence): And(a,a) etc. The hash-consed
+	// network never produces them, but parsed BLIF can.
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
+
+func defMul(a, b []defTerm) []defTerm {
+	var out []defTerm
+	for _, x := range a {
+		for _, y := range b {
+			out = append(out, defTerm{unionVars(x.vars, y.vars), new(big.Int).Mul(x.coef, y.coef)})
+		}
+	}
+	return defCombine(out)
+}
+
+// defSub1 returns 1 - p.
+func defSub1(p []defTerm) []defTerm {
+	out := []defTerm{{nil, big.NewInt(1)}}
+	for _, t := range p {
+		out = append(out, defTerm{t.vars, new(big.Int).Neg(t.coef)})
+	}
+	return defCombine(out)
+}
+
+func defCombine(ts []defTerm) []defTerm {
+	m := map[string]*defTerm{}
+	var order []string
+	for _, t := range ts {
+		k := monoKey(t.vars)
+		if e, ok := m[k]; ok {
+			e.coef.Add(e.coef, t.coef)
+			continue
+		}
+		cp := t
+		cp.coef = new(big.Int).Set(t.coef)
+		m[k] = &cp
+		order = append(order, k)
+	}
+	var out []defTerm
+	for _, k := range order {
+		if m[k].coef.Sign() != 0 {
+			out = append(out, *m[k])
+		}
+	}
+	return out
+}
+
+// gfpoly is a GF(2) polynomial (Zhegalkin form): the set of present
+// monomials, with the same occurrence index as zpoly.
+type gfpoly struct {
+	terms map[string][]int // key -> vars
+	occ   map[int]map[string]bool
+}
+
+func newGFPoly() *gfpoly {
+	return &gfpoly{terms: map[string][]int{}, occ: map[int]map[string]bool{}}
+}
+
+func (p *gfpoly) len() int { return len(p.terms) }
+
+// toggle XORs one monomial into the polynomial.
+func (p *gfpoly) toggle(vars []int) {
+	k := monoKey(vars)
+	if old, ok := p.terms[k]; ok {
+		delete(p.terms, k)
+		for _, v := range old {
+			delete(p.occ[v], k)
+		}
+		return
+	}
+	p.terms[k] = vars
+	for _, v := range vars {
+		m := p.occ[v]
+		if m == nil {
+			m = map[string]bool{}
+			p.occ[v] = m
+		}
+		m[k] = true
+	}
+}
+
+func (p *gfpoly) remove(k string) []int {
+	vars := p.terms[k]
+	delete(p.terms, k)
+	for _, v := range vars {
+		delete(p.occ[v], k)
+	}
+	return vars
+}
+
+// gateDefGF returns the GF(2) definition of a gate over its fanin IDs:
+// the monomial list whose XOR equals the gate function.
+func gateDefGF(t network.GateType, fanins []int) [][]int {
+	switch t {
+	case network.Const0:
+		return nil
+	case network.Const1:
+		return [][]int{nil}
+	case network.Buf:
+		return [][]int{sortedVars(fanins[:1])}
+	case network.Not:
+		return [][]int{nil, sortedVars(fanins[:1])}
+	case network.And:
+		return [][]int{sortedVars(fanins)}
+	case network.Nand:
+		return [][]int{nil, sortedVars(fanins)}
+	case network.Or, network.Nor:
+		// OR(a,b) = a ^ b ^ ab, folded pairwise via 1 ^ prod(1 ^ fi).
+		acc := [][]int{nil} // the constant 1
+		for _, f := range fanins {
+			// acc := acc * (1 ^ f) = acc ^ acc*f
+			var next [][]int
+			seen := map[string]bool{}
+			push := func(vars []int) {
+				k := monoKey(vars)
+				if seen[k] {
+					// XOR cancellation inside the expansion.
+					for i, t := range next {
+						if monoKey(t) == k {
+							next = append(next[:i], next[i+1:]...)
+							break
+						}
+					}
+					delete(seen, k)
+					return
+				}
+				seen[k] = true
+				next = append(next, vars)
+			}
+			for _, t := range acc {
+				push(t)
+				push(unionVars(t, []int{f}))
+			}
+			acc = next
+		}
+		if t == network.Nor {
+			return acc
+		}
+		return gfXor1(acc)
+	case network.Xor:
+		out := make([][]int, len(fanins))
+		for i, f := range fanins {
+			out[i] = []int{f}
+		}
+		return out
+	case network.Xnor:
+		out := [][]int{nil}
+		for _, f := range fanins {
+			out = append(out, []int{f})
+		}
+		return out
+	}
+	panic("verify: gateDefGF on " + t.String())
+}
+
+// gfXor1 XORs the constant-1 monomial into a definition list.
+func gfXor1(ts [][]int) [][]int {
+	for i, t := range ts {
+		if len(t) == 0 {
+			return append(ts[:i], ts[i+1:]...)
+		}
+	}
+	return append(ts, nil)
+}
+
+// stepBudget wraps the budget accounting of one rewriting run: every
+// produced term is a counted work step (the same currency decision-
+// diagram ITE steps spend), and the live monomial count is checked
+// against the cube cap after every substitution, so the algebraic and
+// BDD checkers are governed by one budget discipline.
+func stepBudget(b *budget.Budget, produced int) {
+	for i := 0; i < produced; i++ {
+		b.Step("algebraic")
+	}
+}

@@ -1,0 +1,400 @@
+package wordgen
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/network"
+)
+
+// builder wraps a network under construction with the gate helpers the
+// family generators share. The underlying network hash-conses at
+// AddGate, so structurally repeated cells (the a_i XOR b_i shared by the
+// sum and carry of a full adder) are created once.
+type builder struct {
+	net *network.Network
+}
+
+// newBuilder starts a network with the given input words declared in
+// order, returning the builder, the position-resolved words, and the
+// PI gate IDs per word.
+func newBuilder(name string, inWords ...Word) (*builder, []Word, [][]int) {
+	b := &builder{net: network.New(name)}
+	words := make([]Word, len(inWords))
+	ids := make([][]int, len(inWords))
+	for wi, w := range inWords {
+		words[wi] = Word{Name: w.Name, Shift: w.Shift, Bits: make([]int, len(w.Bits))}
+		ids[wi] = make([]int, len(w.Bits))
+		for i := range w.Bits {
+			words[wi].Bits[i] = len(b.net.PIs)
+			ids[wi][i] = b.net.AddPI(fmt.Sprintf("%s%d", w.Name, i))
+		}
+	}
+	return b, words, ids
+}
+
+// inWord declares an input word shape for newBuilder.
+func inWord(name string, width int) Word { return Word{Name: name, Bits: make([]int, width)} }
+
+func (b *builder) xor(x, y int) int { return b.net.AddGate(network.Xor, x, y) }
+func (b *builder) and(x, y int) int { return b.net.AddGate(network.And, x, y) }
+func (b *builder) or(x, y int) int  { return b.net.AddGate(network.Or, x, y) }
+
+// halfAdd returns (sum, carry) of two bits.
+func (b *builder) halfAdd(x, y int) (int, int) { return b.xor(x, y), b.and(x, y) }
+
+// fullAdd returns (sum, carry) of three bits, the textbook cell:
+// s = x^y^c, co = (x&y) | (c&(x^y)).
+func (b *builder) fullAdd(x, y, c int) (int, int) {
+	p := b.xor(x, y)
+	return b.xor(p, c), b.or(b.and(x, y), b.and(c, p))
+}
+
+// addPOWord declares one output word: a PO per bit, LSB first.
+func (b *builder) addPOWord(name string, shift int, bits []int) Word {
+	w := Word{Name: name, Shift: shift, Bits: make([]int, len(bits))}
+	for i, g := range bits {
+		w.Bits[i] = len(b.net.POs)
+		poName := fmt.Sprintf("%s%d", name, i)
+		if len(bits) == 1 {
+			poName = name
+		}
+		b.net.AddPO(poName, g)
+	}
+	return w
+}
+
+// addAt adds the contiguous bit vector xs into the weight-indexed
+// accumulator acc at weight offset off, rippling the carry to the top.
+// acc[k] is the single bit of weight k; the grown accumulator is
+// returned. xs may extend at most one bit past the accumulator top per
+// step (which is how multiplier rows grow it).
+func (b *builder) addAt(acc, xs []int, off int) []int {
+	c := -1
+	for j, x := range xs {
+		k := off + j
+		switch {
+		case k < len(acc):
+			if c < 0 {
+				acc[k], c = b.halfAdd(acc[k], x)
+			} else {
+				acc[k], c = b.fullAdd(acc[k], x, c)
+			}
+		case k == len(acc):
+			if c < 0 {
+				acc = append(acc, x)
+			} else {
+				var s int
+				s, c = b.halfAdd(x, c)
+				acc = append(acc, s)
+			}
+		default:
+			// Programmer invariant: multiplier rows are contiguous, so
+			// the vector never skips past the accumulator top.
+			panic("wordgen: non-contiguous addAt")
+		}
+	}
+	for k := off + len(xs); c >= 0; k++ {
+		if k < len(acc) {
+			acc[k], c = b.halfAdd(acc[k], c)
+		} else {
+			acc = append(acc, c)
+			c = -1
+		}
+	}
+	return acc
+}
+
+// padTo extends a bit vector to n bits with constant-0 gates.
+func (b *builder) padTo(bits []int, n int) []int {
+	for len(bits) < n {
+		bits = append(bits, b.net.AddGate(network.Const0))
+	}
+	return bits
+}
+
+// genAdder builds the width-w adder: ripple-carry (lookahead=false) or
+// parallel-prefix carry-lookahead (lookahead=true). Both implement
+// s + 2^w*cout = a + b; only the carry network differs — which is
+// exactly the structural axis the scaling curves separate.
+func genAdder(w int, lookahead bool) *Spec {
+	family := "add"
+	if lookahead {
+		family = "cla"
+	}
+	name := fmt.Sprintf("%s%d", family, w)
+	b, words, ids := newBuilder(name, inWord("a", w), inWord("b", w))
+	a, bb := ids[0], ids[1]
+
+	var sum []int
+	var cout int
+	if !lookahead {
+		sum = make([]int, w)
+		c := -1
+		for i := 0; i < w; i++ {
+			if c < 0 {
+				sum[i], c = b.halfAdd(a[i], bb[i])
+			} else {
+				sum[i], c = b.fullAdd(a[i], bb[i], c)
+			}
+		}
+		cout = c
+	} else {
+		// Kogge-Stone parallel prefix over (generate, propagate) pairs:
+		// the carry into bit i is the group generate of bits [0, i].
+		p := make([]int, w)
+		g := make([]int, w)
+		for i := 0; i < w; i++ {
+			p[i] = b.xor(a[i], bb[i])
+			g[i] = b.and(a[i], bb[i])
+		}
+		gg := append([]int(nil), g...)
+		pp := append([]int(nil), p...)
+		for span := 1; span < w; span <<= 1 {
+			ng := append([]int(nil), gg...)
+			np := append([]int(nil), pp...)
+			for i := span; i < w; i++ {
+				ng[i] = b.or(gg[i], b.and(pp[i], gg[i-span]))
+				np[i] = b.and(pp[i], pp[i-span])
+			}
+			gg, pp = ng, np
+		}
+		sum = make([]int, w)
+		sum[0] = p[0]
+		for i := 1; i < w; i++ {
+			sum[i] = b.xor(p[i], gg[i-1])
+		}
+		cout = gg[w-1]
+	}
+
+	outS := b.addPOWord("s", 0, sum)
+	outC := b.addPOWord("cout", w, []int{cout})
+	return &Spec{
+		Family: family, Width: w, Name: name, Kind: KindIntAdd,
+		Net: b.net, In: words, Out: []Word{outS, outC},
+	}
+}
+
+// genArrayMul builds the width-w ripple-carry array multiplier: the
+// partial-product rows a&b_i are folded into a weight-indexed
+// accumulator one at a time, each through a ripple-carry adder — the
+// classic O(w^2)-cell array.
+func genArrayMul(w int) *Spec {
+	name := fmt.Sprintf("mul%d", w)
+	b, words, ids := newBuilder(name, inWord("a", w), inWord("b", w))
+	a, bb := ids[0], ids[1]
+
+	row := func(i int) []int {
+		r := make([]int, w)
+		for j := 0; j < w; j++ {
+			r[j] = b.and(a[j], bb[i])
+		}
+		return r
+	}
+	acc := row(0)
+	for i := 1; i < w; i++ {
+		acc = b.addAt(acc, row(i), i)
+	}
+	acc = b.padTo(acc, 2*w)
+
+	outP := b.addPOWord("p", 0, acc)
+	return &Spec{
+		Family: "mul", Width: w, Name: name, Kind: KindIntMul,
+		Net: b.net, In: words, Out: []Word{outP},
+	}
+}
+
+// genWallaceMul builds the width-w Wallace-style multiplier: the
+// partial-product columns are compressed with 3:2 (full-adder) and 2:2
+// (half-adder) counters until every column holds at most two bits, then
+// a final ripple-carry adder sums the two remaining rows.
+func genWallaceMul(w int) *Spec {
+	name := fmt.Sprintf("wallace%d", w)
+	b, words, ids := newBuilder(name, inWord("a", w), inWord("b", w))
+	a, bb := ids[0], ids[1]
+
+	cols := make([][]int, 2*w)
+	for i := 0; i < w; i++ {
+		for j := 0; j < w; j++ {
+			cols[i+j] = append(cols[i+j], b.and(a[j], bb[i]))
+		}
+	}
+	for {
+		high := 0
+		for _, col := range cols {
+			if len(col) > high {
+				high = len(col)
+			}
+		}
+		if high <= 2 {
+			break
+		}
+		// One 3:2 compression pass: every group of three bits in a
+		// column becomes a full adder (sum stays, carry moves up).
+		next := make([][]int, len(cols))
+		put := func(k, g int) {
+			for len(next) <= k {
+				next = append(next, nil)
+			}
+			next[k] = append(next[k], g)
+		}
+		for k, col := range cols {
+			for len(col) >= 3 {
+				s, c := b.fullAdd(col[0], col[1], col[2])
+				col = col[3:]
+				put(k, s)
+				put(k+1, c)
+			}
+			for _, g := range col {
+				put(k, g)
+			}
+		}
+		cols = next
+	}
+	// Final carry-propagate adder over the (at most) two remaining rows.
+	prod := make([]int, 0, 2*w)
+	c := -1
+	for _, col := range cols {
+		bits := col
+		if c >= 0 {
+			bits = append(append([]int(nil), col...), c)
+			c = -1
+		}
+		switch len(bits) {
+		case 0:
+			prod = append(prod, b.net.AddGate(network.Const0))
+		case 1:
+			prod = append(prod, bits[0])
+		case 2:
+			var s int
+			s, c = b.halfAdd(bits[0], bits[1])
+			prod = append(prod, s)
+		case 3:
+			var s int
+			s, c = b.fullAdd(bits[0], bits[1], bits[2])
+			prod = append(prod, s)
+		}
+	}
+	prod = prod[:2*w]
+
+	outP := b.addPOWord("p", 0, prod)
+	return &Spec{
+		Family: "wallace", Width: w, Name: name, Kind: KindIntMul,
+		Net: b.net, In: words, Out: []Word{outP},
+	}
+}
+
+// genParity builds the width-w parity tree: one output, the XOR of all
+// inputs, as a balanced 2-input XOR tree.
+func genParity(w int) *Spec {
+	name := fmt.Sprintf("parity%d", w)
+	b, words, ids := newBuilder(name, inWord("a", w))
+	root := b.net.BalancedTree(network.Xor, ids[0])
+	outP := b.addPOWord("p", 0, []int{root})
+	return &Spec{
+		Family: "parity", Width: w, Name: name, Kind: KindXorLinear,
+		Net: b.net, In: words, Out: []Word{outP},
+		Linear: [][]int{seq(w)},
+	}
+}
+
+// hammingParityBits returns the parity-bit count r of the systematic
+// Hamming encoder for w data bits: the smallest r with 2^r >= w + r + 1.
+func hammingParityBits(w int) int {
+	r := 1
+	for 1<<uint(r) < w+r+1 {
+		r++
+	}
+	return r
+}
+
+// genHamming builds the systematic Hamming ECC encoder for w data bits:
+// the data word passes through and r parity bits cover the standard
+// Hamming positions (parity j at codeword position 2^j covers every
+// data position with bit j set).
+func genHamming(w int) *Spec {
+	name := fmt.Sprintf("hamming%d", w)
+	r := hammingParityBits(w)
+	b, words, ids := newBuilder(name, inWord("d", w))
+	d := ids[0]
+
+	// Codeword positions 1..w+r: powers of two are parity positions,
+	// the rest carry data bits in increasing order.
+	dataPos := make([]int, 0, w) // codeword position of data bit i
+	for pos := 1; len(dataPos) < w; pos++ {
+		if pos&(pos-1) != 0 {
+			dataPos = append(dataPos, pos)
+		}
+	}
+	linear := make([][]int, 0, w+r)
+	var dataOut []int
+	for i := 0; i < w; i++ {
+		dataOut = append(dataOut, d[i])
+		linear = append(linear, []int{i})
+	}
+	var parOut []int
+	for j := 0; j < r; j++ {
+		var cover []int
+		for i, pos := range dataPos {
+			if pos&(1<<uint(j)) != 0 {
+				cover = append(cover, i)
+			}
+		}
+		gates := make([]int, len(cover))
+		for k, i := range cover {
+			gates[k] = d[i]
+		}
+		parOut = append(parOut, b.net.BalancedTree(network.Xor, gates))
+		linear = append(linear, cover)
+	}
+
+	outD := b.addPOWord("q", 0, dataOut)
+	outP := b.addPOWord("p", w, parOut)
+	return &Spec{
+		Family: "hamming", Width: w, Name: name, Kind: KindXorLinear,
+		Net: b.net, In: words, Out: []Word{outD, outP},
+		Linear: linear,
+	}
+}
+
+// genGFMul builds the GF(2^w) standard-basis multiplier: partial-product
+// columns c_k = XOR over i+j=k of a_i*b_j (the polynomial product), then
+// each output coordinate XORs the columns the reduction table folds onto
+// it: z_t = XOR over { c_k : x^k reduces onto coordinate t mod poly }.
+func genGFMul(w int, poly *big.Int) *Spec {
+	name := fmt.Sprintf("gfmul%d", w)
+	b, words, ids := newBuilder(name, inWord("a", w), inWord("b", w))
+	a, bb := ids[0], ids[1]
+
+	cols := make([]int, 2*w-1)
+	for k := range cols {
+		var bits []int
+		for i := 0; i < w; i++ {
+			j := k - i
+			if j >= 0 && j < w {
+				bits = append(bits, b.and(a[i], bb[j]))
+			}
+		}
+		cols[k] = b.net.BalancedTree(network.Xor, bits)
+	}
+	rt := ReduceTable(w, poly)
+	z := make([]int, w)
+	for t := 0; t < w; t++ {
+		var bits []int
+		for k := range cols {
+			if rt[k].Bit(t) == 1 {
+				bits = append(bits, cols[k])
+			}
+		}
+		// Every coordinate receives at least its own column (rows 0..w-1
+		// are unit vectors), so the tree is never empty.
+		z[t] = b.net.BalancedTree(network.Xor, bits)
+	}
+
+	outZ := b.addPOWord("z", 0, z)
+	return &Spec{
+		Family: "gfmul", Width: w, Name: name, Kind: KindGFMul,
+		Net: b.net, In: words, Out: []Word{outZ},
+		Poly: new(big.Int).Set(poly),
+	}
+}

@@ -1,0 +1,457 @@
+// Package wordgen is the word-level arithmetic workload generator: a
+// deterministic, parametric source of the paper's target function family
+// — adders, multipliers, parity/ECC encoders, and GF(2^k) multipliers —
+// at arbitrary operand widths, each paired with a word-level golden
+// model.
+//
+// Where package bench reconstructs the 41 fixed IWLS'91 circuits of
+// Table 2, wordgen opens the scaling axis: the same family at width 4
+// and width 64, so literals and runtime can be measured as a curve
+// against operand width instead of a fixed table. Every generated
+// circuit carries its word-level specification (which primary inputs
+// and outputs form which operand words, and what arithmetic relation
+// binds them), which is what package verify's algebraic mode checks by
+// backward polynomial substitution — the route that scales past the
+// widths where BDD equivalence blows up.
+//
+// Generation is pure and deterministic: the same (family, width,
+// polynomial) triple always yields the same network, gate for gate.
+package wordgen
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"strconv"
+	"strings"
+
+	"repro/internal/bdd"
+	"repro/internal/network"
+	"repro/internal/sop"
+)
+
+// Kind classifies the word-level relation a generated circuit
+// implements; package verify dispatches its algebraic checker on it.
+type Kind int
+
+// Word-level relation kinds.
+const (
+	// KindIntAdd: the output words, weighted by their shifts, equal the
+	// integer sum of the input words (ripple and lookahead adders).
+	KindIntAdd Kind = iota
+	// KindIntMul: the output words equal the integer product of the two
+	// input words (array and Wallace-tree multipliers).
+	KindIntMul
+	// KindXorLinear: every output bit is the XOR of a fixed input-bit
+	// subset (parity trees, Hamming ECC encoders). The subsets are in
+	// Spec.Linear.
+	KindXorLinear
+	// KindGFMul: the output word is the GF(2^k) product of the input
+	// words in standard basis modulo Spec.Poly.
+	KindGFMul
+)
+
+// String names the kind for reports.
+func (k Kind) String() string {
+	switch k {
+	case KindIntAdd:
+		return "int-add"
+	case KindIntMul:
+		return "int-mul"
+	case KindXorLinear:
+		return "xor-linear"
+	case KindGFMul:
+		return "gf-mul"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Word maps one operand word onto network bit positions: Bits[i] is the
+// position (index into Network.PIs for input words, into Network.POs for
+// output words) of the word's bit i, LSB first. Shift is the word's
+// power-of-two offset inside the circuit's packed output value — the
+// carry-out word of a width-w adder has Shift w.
+type Word struct {
+	Name  string `json:"name"`
+	Bits  []int  `json:"bits"`
+	Shift int    `json:"shift"`
+}
+
+// Width is the word's bit count.
+func (w Word) Width() int { return len(w.Bits) }
+
+// Spec is one generated circuit: the gate network plus its word-level
+// specification.
+type Spec struct {
+	Family string // "add", "cla", "mul", "wallace", "parity", "hamming", "gfmul"
+	Width  int    // operand width the family was generated at
+	Name   string // e.g. "mul8"
+	Kind   Kind
+	Net    *network.Network
+	In     []Word // operand words over PI positions
+	Out    []Word // result words over PO positions
+	// Poly is the irreducible reduction polynomial of a KindGFMul spec
+	// (bit i = coefficient of x^i; bit Width is always set). Zero
+	// otherwise.
+	Poly *big.Int
+	// Linear holds, for a KindXorLinear spec, the PI positions XORed
+	// into each PO (indexed by PO position). Nil otherwise.
+	Linear [][]int
+}
+
+// Family describes one generator family for listings.
+type Family struct {
+	Name        string
+	Description string
+	// OutBits reports the output bit count at width w.
+	OutBits func(w int) int
+	// MinWidth is the smallest meaningful operand width.
+	MinWidth int
+}
+
+// Families enumerates the supported generator families in a stable
+// order.
+func Families() []Family {
+	return []Family{
+		{"add", "ripple-carry adder: s[w]+cout = a[w]+b[w]", func(w int) int { return w + 1 }, 1},
+		{"cla", "carry-lookahead adder (parallel-prefix carries), same spec as add", func(w int) int { return w + 1 }, 1},
+		{"mul", "array multiplier: p[2w] = a[w]*b[w], ripple-carry rows", func(w int) int { return 2 * w }, 1},
+		{"wallace", "Wallace-style multiplier: 3:2 column compression, final ripple adder", func(w int) int { return 2 * w }, 1},
+		{"parity", "parity tree: one output, XOR of w inputs", func(w int) int { return 1 }, 2},
+		{"hamming", "Hamming ECC encoder: w data bits pass through + r parity bits, 2^r >= w+r+1", func(w int) int { return w + hammingParityBits(w) }, 2},
+		{"gfmul", "GF(2^w) multiplier, standard basis, reduction by an irreducible polynomial", func(w int) int { return w }, 2},
+	}
+}
+
+// maxWidth bounds generation: beyond it the request is a unit confusion
+// (a 4096-bit array multiplier has ~16M gates), not a workload.
+const maxWidth = 1 << 10
+
+// Generate builds the named family at the given operand width, with the
+// family's default parameters (gfmul uses DefaultPoly).
+func Generate(family string, width int) (*Spec, error) {
+	if family == "gfmul" {
+		p, err := DefaultPoly(width)
+		if err != nil {
+			return nil, err
+		}
+		return GenerateGF(width, p)
+	}
+	if err := checkWidth(family, width); err != nil {
+		return nil, err
+	}
+	switch family {
+	case "add":
+		return genAdder(width, false), nil
+	case "cla":
+		return genAdder(width, true), nil
+	case "mul":
+		return genArrayMul(width), nil
+	case "wallace":
+		return genWallaceMul(width), nil
+	case "parity":
+		return genParity(width), nil
+	case "hamming":
+		return genHamming(width), nil
+	}
+	return nil, fmt.Errorf("wordgen: unknown family %q", family)
+}
+
+// GenerateGF builds the GF(2^width) standard-basis multiplier reduced by
+// the given polynomial (bit i = coefficient of x^i; degree must equal
+// width and the polynomial must be irreducible over GF(2)).
+func GenerateGF(width int, poly *big.Int) (*Spec, error) {
+	if err := checkWidth("gfmul", width); err != nil {
+		return nil, err
+	}
+	if poly == nil || poly.BitLen() != width+1 || poly.Bit(0) != 1 {
+		return nil, fmt.Errorf("wordgen: gfmul width %d needs a degree-%d polynomial with constant term (got %v)", width, width, poly)
+	}
+	if !Irreducible(poly) {
+		return nil, fmt.Errorf("wordgen: polynomial %#x is reducible over GF(2)", poly)
+	}
+	return genGFMul(width, poly), nil
+}
+
+func checkWidth(family string, width int) error {
+	min := 1
+	for _, f := range Families() {
+		if f.Name == family {
+			min = f.MinWidth
+		}
+	}
+	if width < min || width > maxWidth {
+		return fmt.Errorf("wordgen: family %s width %d out of range [%d, %d]", family, width, min, maxWidth)
+	}
+	return nil
+}
+
+// ByName parses a generated-circuit name of the form "<family><width>"
+// ("mul8", "gfmul16", "hamming32") and generates it. The trailing
+// decimal digits are the width; everything before them is the family.
+func ByName(name string) (*Spec, error) {
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	if i == 0 || i == len(name) {
+		return nil, fmt.Errorf("wordgen: %q is not <family><width>", name)
+	}
+	width, err := strconv.Atoi(name[i:])
+	if err != nil {
+		return nil, fmt.Errorf("wordgen: bad width in %q: %v", name, err)
+	}
+	return Generate(name[:i], width)
+}
+
+// Golden evaluates the word-level golden model on concrete operand
+// values (one big.Int per input word, in In order) and returns one value
+// per output word, in Out order. Inputs wider than the word are reduced
+// modulo 2^width. This is the reference semantics every other checker
+// (simulation, BDD, algebraic) is compared against in tests.
+func (s *Spec) Golden(in []*big.Int) ([]*big.Int, error) {
+	if len(in) != len(s.In) {
+		return nil, fmt.Errorf("wordgen: %s golden model wants %d input words, got %d", s.Name, len(s.In), len(in))
+	}
+	vals := make([]*big.Int, len(in))
+	for i, w := range s.In {
+		vals[i] = new(big.Int).And(in[i], maskBits(w.Width()))
+	}
+	switch s.Kind {
+	case KindIntAdd:
+		sum := new(big.Int)
+		for _, v := range vals {
+			sum.Add(sum, v)
+		}
+		return s.splitWords(sum), nil
+	case KindIntMul:
+		prod := new(big.Int).Mul(vals[0], vals[1])
+		return s.splitWords(prod), nil
+	case KindXorLinear:
+		// Concatenate input words into one PI-position-indexed bit view,
+		// then apply the linear map per output word bit.
+		piBits := map[int]uint{}
+		for i, w := range s.In {
+			for b, pos := range w.Bits {
+				piBits[pos] = vals[i].Bit(b)
+			}
+		}
+		var out []*big.Int
+		for _, ow := range s.Out {
+			v := new(big.Int)
+			for b, pos := range ow.Bits {
+				x := uint(0)
+				for _, pi := range s.Linear[pos] {
+					x ^= piBits[pi]
+				}
+				v.SetBit(v, b, x)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case KindGFMul:
+		return []*big.Int{gfMulMod(vals[0], vals[1], s.Poly)}, nil
+	}
+	return nil, fmt.Errorf("wordgen: %s: golden model for kind %s not implemented", s.Name, s.Kind)
+}
+
+// splitWords distributes a packed integer result onto the output words
+// by their shifts.
+func (s *Spec) splitWords(v *big.Int) []*big.Int {
+	out := make([]*big.Int, len(s.Out))
+	for i, w := range s.Out {
+		out[i] = new(big.Int).And(new(big.Int).Rsh(v, uint(w.Shift)), maskBits(w.Width()))
+	}
+	return out
+}
+
+func maskBits(n int) *big.Int {
+	m := new(big.Int).Lsh(big.NewInt(1), uint(n))
+	return m.Sub(m, big.NewInt(1))
+}
+
+// gfMulMod is the GF(2)[x] carry-less product of a and b reduced modulo
+// p — the reference implementation of the gfmul golden model.
+func gfMulMod(a, b, p *big.Int) *big.Int {
+	prod := new(big.Int)
+	t := new(big.Int)
+	for i := 0; i < a.BitLen(); i++ {
+		if a.Bit(i) == 1 {
+			prod.Xor(prod, t.Lsh(b, uint(i)))
+		}
+	}
+	deg := p.BitLen() - 1
+	red := new(big.Int)
+	for prod.BitLen() > deg {
+		red.Lsh(p, uint(prod.BitLen()-1-deg))
+		prod.Xor(prod, red)
+	}
+	return new(big.Int).Set(prod)
+}
+
+// WritePLA emits the spec as a two-level espresso-format PLA (one
+// irredundant ON-set cover per output, extracted through BDDs). Only
+// narrow instances are representable two-level; wider ones must use
+// WriteBLIF.
+func (s *Spec) WritePLA(w io.Writer) error {
+	if n := s.Net.NumPIs(); n > MaxPLAInputs {
+		return fmt.Errorf("wordgen: %s has %d inputs; PLA emission is limited to %d (use BLIF)", s.Name, n, MaxPLAInputs)
+	}
+	m := bdd.New(s.Net.NumPIs())
+	refs := s.Net.ToBDDs(m)
+	p := &sop.PLA{Name: s.Name, Inputs: s.Net.NumPIs(), Outputs: s.Net.NumPOs()}
+	for _, pi := range s.Net.PIs {
+		p.InNames = append(p.InNames, s.Net.Gates[pi].Name)
+	}
+	for _, po := range s.Net.POs {
+		p.OutName = append(p.OutName, po.Name)
+	}
+	for i, r := range refs {
+		cover, err := m.ToCover(r)
+		if err != nil {
+			return fmt.Errorf("wordgen: %s output %d: %v", s.Name, i, err)
+		}
+		p.Covers = append(p.Covers, cover)
+	}
+	return p.WritePLA(w)
+}
+
+// MaxPLAInputs bounds two-level PLA emission: the ISOP cover of a wider
+// instance is either exponential (multipliers) or pointlessly large.
+const MaxPLAInputs = 20
+
+// WriteBLIF emits the generated network in BLIF (any width).
+func (s *Spec) WriteBLIF(w io.Writer) error { return s.Net.WriteBLIF(w) }
+
+// String summarizes the spec for logs.
+func (s *Spec) String() string {
+	var in, out []string
+	for _, w := range s.In {
+		in = append(in, fmt.Sprintf("%s[%d]", w.Name, w.Width()))
+	}
+	for _, w := range s.Out {
+		out = append(out, fmt.Sprintf("%s[%d]", w.Name, w.Width()))
+	}
+	return fmt.Sprintf("%s: %s (%s) -> (%s), %d gates",
+		s.Name, s.Kind, strings.Join(in, ", "), strings.Join(out, ", "), len(s.Net.Gates))
+}
+
+// ReduceTable returns, for each partial-product column k = 0..2w-2, the
+// w-bit mask of standard-basis coordinates x^k reduces to modulo poly:
+// row k is the representation of x^k in GF(2^w). Rows 0..w-1 are the
+// unit vectors; higher rows fold back through the polynomial. Both the
+// generator and the algebraic checker derive their semantics from this
+// table — it *is* the definition of standard-basis reduction.
+func ReduceTable(width int, poly *big.Int) []*big.Int {
+	rows := make([]*big.Int, 2*width-1)
+	for k := range rows {
+		if k < width {
+			rows[k] = new(big.Int).SetBit(new(big.Int), k, 1)
+			continue
+		}
+		// x^k = x * x^(k-1), then reduce the overflow bit through poly:
+		// x^w = poly - x^w (over GF(2): the low-degree tail of poly).
+		r := new(big.Int).Lsh(rows[k-1], 1)
+		if r.Bit(width) == 1 {
+			r.SetBit(r, width, 0)
+			tail := new(big.Int).SetBit(new(big.Int).Set(poly), width, 0)
+			r.Xor(r, tail)
+		}
+		rows[k] = r
+	}
+	return rows
+}
+
+// Irreducible reports whether p (degree >= 1, over GF(2)) is irreducible,
+// via the standard criterion: x^(2^n) == x mod p, and for every prime
+// divisor d of n, gcd(x^(2^(n/d)) - x, p) == 1.
+func Irreducible(p *big.Int) bool {
+	n := p.BitLen() - 1
+	if n < 1 {
+		return false
+	}
+	if n == 1 {
+		return true // x and x+1
+	}
+	if p.Bit(0) == 0 {
+		return false // divisible by x
+	}
+	x := big.NewInt(2) // the polynomial "x"
+	// x^(2^n) mod p by repeated squaring.
+	sq := new(big.Int).Set(x)
+	for i := 0; i < n; i++ {
+		sq = gfMulMod(sq, sq, p)
+	}
+	if sq.Cmp(x) != 0 {
+		return false
+	}
+	for _, d := range primeDivisors(n) {
+		sq := new(big.Int).Set(x)
+		for i := 0; i < n/d; i++ {
+			sq = gfMulMod(sq, sq, p)
+		}
+		g := polyGCD(new(big.Int).Xor(sq, x), p)
+		if g.BitLen() > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func primeDivisors(n int) []int {
+	var ds []int
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			ds = append(ds, d)
+			for n%d == 0 {
+				n /= d
+			}
+		}
+	}
+	if n > 1 {
+		ds = append(ds, n)
+	}
+	return ds
+}
+
+func polyGCD(a, b *big.Int) *big.Int {
+	a, b = new(big.Int).Set(a), new(big.Int).Set(b)
+	for b.Sign() != 0 {
+		// a mod b over GF(2)[x].
+		for a.BitLen() >= b.BitLen() && a.Sign() != 0 {
+			a.Xor(a, new(big.Int).Lsh(b, uint(a.BitLen()-b.BitLen())))
+		}
+		a, b = b, a
+	}
+	return a
+}
+
+// DefaultPoly returns the canonical reduction polynomial for GF(2^w):
+// the irreducible degree-w polynomial with the smallest integer
+// encoding. It is found by search, not a table, so every width in range
+// gets a correct polynomial; the search is cheap (low-weight irreducible
+// polynomials exist near the bottom of the order for every degree).
+func DefaultPoly(width int) (*big.Int, error) {
+	if width < 2 || width > maxWidth {
+		return nil, fmt.Errorf("wordgen: gfmul width %d out of range [2, %d]", width, maxWidth)
+	}
+	// Candidates have the top and constant bits set; enumerate the tail.
+	base := new(big.Int).SetBit(new(big.Int), width, 1)
+	for tail := int64(1); tail < 1<<20; tail += 2 {
+		p := new(big.Int).Or(base, big.NewInt(tail))
+		if Irreducible(p) {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("wordgen: no irreducible polynomial found for width %d", width)
+}
+
+// seq returns positions 0..n-1; word builders use it to keep bit
+// listings explicit and stable.
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

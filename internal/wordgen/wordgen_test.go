@@ -1,0 +1,302 @@
+package wordgen
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/network"
+	"repro/internal/sop"
+)
+
+// simWords drives the generated network on one concrete input-word
+// assignment and packs the PO bits back into output words — the
+// bit-level ground truth the golden model is checked against.
+func simWords(t *testing.T, s *Spec, in []*big.Int) []*big.Int {
+	t.Helper()
+	assign := cube.NewBitSet(s.Net.NumPIs())
+	for wi, w := range s.In {
+		for b, pos := range w.Bits {
+			if in[wi].Bit(b) == 1 {
+				assign.Set(pos)
+			}
+		}
+	}
+	outBits := s.Net.Eval(assign)
+	out := make([]*big.Int, len(s.Out))
+	for wi, w := range s.Out {
+		v := new(big.Int)
+		for b, pos := range w.Bits {
+			if outBits[pos] {
+				v.SetBit(v, b, 1)
+			}
+		}
+		out[wi] = v
+	}
+	return out
+}
+
+func randWords(rng *rand.Rand, s *Spec) []*big.Int {
+	in := make([]*big.Int, len(s.In))
+	for i, w := range s.In {
+		v := new(big.Int)
+		for b := 0; b < w.Width(); b++ {
+			if rng.Intn(2) == 1 {
+				v.SetBit(v, b, 1)
+			}
+		}
+		in[i] = v
+	}
+	return in
+}
+
+// TestGoldenVsSimulation is the family ground-truth check: for every
+// family at several widths, the gate-level network and the word-level
+// golden model must agree on random operand values (and exhaustively at
+// tiny widths).
+func TestGoldenVsSimulation(t *testing.T) {
+	for _, f := range Families() {
+		for _, w := range []int{1, 2, 3, 4, 7, 8, 13, 16} {
+			if w < f.MinWidth {
+				continue
+			}
+			s, err := Generate(f.Name, w)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", f.Name, w, err)
+			}
+			if got := s.Net.NumPOs(); got != f.OutBits(w) {
+				t.Errorf("%s: %d POs, family table says %d", s.Name, got, f.OutBits(w))
+			}
+			rng := rand.New(rand.NewSource(int64(w)*100 + 7))
+			vectors := 40
+			for v := 0; v < vectors; v++ {
+				in := randWords(rng, s)
+				want, err := s.Golden(in)
+				if err != nil {
+					t.Fatalf("%s: golden: %v", s.Name, err)
+				}
+				got := simWords(t, s, in)
+				for wi := range want {
+					if want[wi].Cmp(got[wi]) != 0 {
+						t.Fatalf("%s: word %s: golden %v, circuit %v (inputs %v)",
+							s.Name, s.Out[wi].Name, want[wi], got[wi], in)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExhaustiveTiny drives every minterm at width 2-3 — cheap total
+// coverage that catches off-by-one carry bugs random vectors can miss.
+func TestExhaustiveTiny(t *testing.T) {
+	for _, f := range Families() {
+		for _, w := range []int{2, 3} {
+			if w < f.MinWidth {
+				continue
+			}
+			s, err := Generate(f.Name, w)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", f.Name, w, err)
+			}
+			n := s.Net.NumPIs()
+			for m := 0; m < 1<<uint(n); m++ {
+				in := make([]*big.Int, len(s.In))
+				bit := 0
+				for wi, word := range s.In {
+					v := new(big.Int)
+					for b := 0; b < word.Width(); b++ {
+						v.SetBit(v, b, uint(m>>uint(bit))&1)
+						bit++
+					}
+					in[wi] = v
+				}
+				want, err := s.Golden(in)
+				if err != nil {
+					t.Fatalf("%s: golden: %v", s.Name, err)
+				}
+				got := simWords(t, s, in)
+				for wi := range want {
+					if want[wi].Cmp(got[wi]) != 0 {
+						t.Fatalf("%s m=%d: word %s: golden %v, circuit %v",
+							s.Name, m, s.Out[wi].Name, want[wi], got[wi])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeterminism: the same (family, width) must produce the same
+// network gate for gate — the property the scaling-curve baseline and
+// the CI gate depend on.
+func TestDeterminism(t *testing.T) {
+	for _, name := range []string{"add8", "cla8", "mul6", "wallace6", "parity16", "hamming11", "gfmul8"} {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ba, bbuf bytes.Buffer
+		if err := a.WriteBLIF(&ba); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteBLIF(&bbuf); err != nil {
+			t.Fatal(err)
+		}
+		if ba.String() != bbuf.String() {
+			t.Errorf("%s: two generations differ", name)
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	for _, bad := range []string{"", "mul", "8", "mul0", "nosuch8", "mul99999"} {
+		if _, err := ByName(bad); err == nil {
+			t.Errorf("ByName(%q): expected error", bad)
+		}
+	}
+	s, err := ByName("gfmul8")
+	if err != nil || s.Family != "gfmul" || s.Width != 8 {
+		t.Fatalf("ByName(gfmul8) = %v, %v", s, err)
+	}
+}
+
+// TestDefaultPoly pins the canonical polynomials at the widths every
+// other component (tests, baseline, docs) assumes, and checks the
+// search's outputs are irreducible across a width range.
+func TestDefaultPoly(t *testing.T) {
+	want := map[int]int64{2: 0x7, 3: 0xB, 4: 0x13, 8: 0x11B}
+	for w, p := range want {
+		got, err := DefaultPoly(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != p {
+			t.Errorf("DefaultPoly(%d) = %#x, want %#x", w, got, p)
+		}
+	}
+	for w := 2; w <= 64; w++ {
+		p, err := DefaultPoly(w)
+		if err != nil {
+			t.Fatalf("DefaultPoly(%d): %v", w, err)
+		}
+		if p.BitLen() != w+1 || !Irreducible(p) {
+			t.Errorf("DefaultPoly(%d) = %#x: degree %d, irreducible=%v",
+				w, p, p.BitLen()-1, Irreducible(p))
+		}
+	}
+	// Known-reducible inputs must be rejected.
+	if Irreducible(big.NewInt(0x11)) { // x^4+1 = (x+1)^4
+		t.Error("x^4+1 reported irreducible")
+	}
+	if _, err := GenerateGF(4, big.NewInt(0x11)); err == nil {
+		t.Error("GenerateGF accepted a reducible polynomial")
+	}
+	if _, err := GenerateGF(4, big.NewInt(0x7)); err == nil {
+		t.Error("GenerateGF accepted a degree-mismatched polynomial")
+	}
+}
+
+// TestReduceTable checks the reduction rows against the big.Int
+// carry-less reference: x^k mod p must equal row k.
+func TestReduceTable(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 13} {
+		p, err := DefaultPoly(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := ReduceTable(w, p)
+		for k := range rt {
+			xk := new(big.Int).SetBit(new(big.Int), k, 1)
+			want := gfMulMod(xk, big.NewInt(1), p)
+			if rt[k].Cmp(want) != 0 {
+				t.Errorf("w=%d k=%d: table %#x, reference %#x", w, k, rt[k], want)
+			}
+		}
+	}
+}
+
+// TestPLARoundTrip: narrow instances emitted as PLA must parse back and
+// simulate identically to the generated network.
+func TestPLARoundTrip(t *testing.T) {
+	for _, name := range []string{"add4", "mul3", "parity5", "hamming4", "gfmul4"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.WritePLA(&buf); err != nil {
+			t.Fatalf("%s: WritePLA: %v", name, err)
+		}
+		p, err := sop.ParsePLA(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: ParsePLA: %v", name, err)
+		}
+		net := network.FromPLA(p)
+		n := s.Net.NumPIs()
+		for m := 0; m < 1<<uint(n); m++ {
+			assign := cube.NewBitSet(n)
+			for v := 0; v < n; v++ {
+				if m&(1<<uint(v)) != 0 {
+					assign.Set(v)
+				}
+			}
+			a := s.Net.Eval(assign)
+			b := net.Eval(assign)
+			for o := range a {
+				if a[o] != b[o] {
+					t.Fatalf("%s: PLA round trip differs at minterm %d output %d", name, m, o)
+				}
+			}
+		}
+	}
+	// Wide instances must refuse PLA emission with a useful error.
+	s, err := ByName("mul16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePLA(&bytes.Buffer{}); err == nil {
+		t.Error("WritePLA accepted a 32-input circuit")
+	}
+}
+
+// TestBLIFRoundTrip: BLIF emission must parse back and agree on random
+// vectors at every family.
+func TestBLIFRoundTrip(t *testing.T) {
+	for _, name := range []string{"add8", "cla8", "mul5", "wallace5", "parity9", "hamming8", "gfmul6"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteBLIF(&buf); err != nil {
+			t.Fatal(err)
+		}
+		net, err := network.ReadBLIF(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: ReadBLIF: %v", name, err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		for v := 0; v < 64; v++ {
+			assign := cube.NewBitSet(s.Net.NumPIs())
+			for i := 0; i < s.Net.NumPIs(); i++ {
+				if rng.Intn(2) == 1 {
+					assign.Set(i)
+				}
+			}
+			a := s.Net.Eval(assign)
+			b := net.Eval(assign)
+			for o := range a {
+				if a[o] != b[o] {
+					t.Fatalf("%s: BLIF round trip differs at output %d", name, o)
+				}
+			}
+		}
+	}
+}
